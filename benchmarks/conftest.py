@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or claims) and prints
+the same rows/series the paper reports, so the shape of the result can be read
+from the terminal next to the timing numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a benchmark's result table under a clear header."""
+    separator = "=" * max(len(title), 20)
+    print(f"\n{separator}\n{title}\n{separator}\n{body}\n")

@@ -1,0 +1,27 @@
+"""E9 — ablations: SNR sweep and packets-per-signature sweep.
+
+Expected shape: bearing accuracy is flat over a wide SNR range (packet-length
+correlation averaging provides large integration gain) and collapses once the
+receive SNR falls far below the noise floor; averaging more packets into the
+certified signature widens the legitimate-vs-attacker similarity gap.
+"""
+
+from conftest import print_report
+
+from repro.experiments.ablations import run_packets_per_signature_sweep, run_snr_sweep
+
+
+def test_bench_ablation_snr(benchmark):
+    sweep = benchmark.pedantic(run_snr_sweep, kwargs={"packets_per_point": 3, "rng": 42},
+                               iterations=1, rounds=1)
+    print_report("Ablation: bearing error vs transmit power", sweep.as_table())
+    errors = sweep.median_error_by_tx_power_deg
+    assert errors[min(errors)] > errors[max(errors)]
+
+
+def test_bench_ablation_packets_per_signature(benchmark):
+    sweep = benchmark.pedantic(run_packets_per_signature_sweep,
+                               kwargs={"training_sizes": (1, 2, 5, 10), "rng": 42},
+                               iterations=1, rounds=1)
+    print_report("Ablation: training packets vs signature separation", sweep.as_table())
+    assert sweep.separation(10) > 0.3

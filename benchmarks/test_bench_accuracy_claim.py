@@ -1,0 +1,26 @@
+"""E2 — the Section 2.3.1 headline accuracy claim.
+
+Paper's claim: from a single packet, roughly three quarters of clients are
+within 2.5 degrees and all clients within 14 degrees, at 95 % confidence.
+"""
+
+from conftest import print_report
+
+from repro.experiments.accuracy import evaluate_accuracy_claim
+
+
+def test_bench_accuracy_claim(benchmark):
+    claim = benchmark.pedantic(evaluate_accuracy_claim,
+                               kwargs={"num_packets": 10, "rng": 42},
+                               iterations=1, rounds=1)
+    print_report(
+        "Section 2.3.1 accuracy claim (single-packet bearings, 95th percentile per client)",
+        claim.as_table()
+        + f"\n\nfraction of clients within 2.5 deg: {claim.fraction_within_2_5_deg:.0%}"
+          " (paper: ~75%)"
+        + f"\nfraction of clients within 14 deg:  {claim.fraction_within_14_deg:.0%}"
+          " (paper: 100%)"
+        + f"\nworst client: {claim.worst_client_error_deg:.1f} deg",
+    )
+    assert claim.fraction_within_2_5_deg >= 0.25
+    assert claim.fraction_within_14_deg >= 0.8

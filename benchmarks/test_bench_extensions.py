@@ -1,0 +1,54 @@
+"""E11-E13 — the Section 5 future-work extensions.
+
+* E11: spoofing-detector operating characteristic (threshold sweep).
+* E12: mobility tracking with multiple APs.
+* E13: downlink directional transmission from uplink AoA.
+"""
+
+from conftest import print_report
+
+from repro.experiments.beamforming_eval import run_beamforming_evaluation
+from repro.experiments.mobility import run_mobility_tracking
+from repro.experiments.roc import run_spoofing_roc
+
+
+def test_bench_spoofing_roc(benchmark):
+    roc = benchmark.pedantic(run_spoofing_roc,
+                             kwargs={"num_training_packets": 10, "num_probe_packets": 8,
+                                     "rng": 42},
+                             iterations=1, rounds=1)
+    best = roc.best_threshold()
+    print_report(
+        "Spoofing-detector operating characteristic (similarity threshold sweep)",
+        roc.as_table()
+        + f"\n\nsimilarity gap (worst legitimate - best attacker): {roc.similarity_gap:.2f}"
+        + f"\nbest threshold: {best.threshold:.2f} "
+          f"(detection {best.detection_rate:.0%}, false alarms {best.false_alarm_rate:.0%})",
+    )
+    assert best.detection_rate >= 0.9
+    assert best.false_alarm_rate <= 0.1
+
+
+def test_bench_mobility_tracking(benchmark):
+    result = benchmark.pedantic(run_mobility_tracking,
+                                kwargs={"num_samples": 15, "rng": 42},
+                                iterations=1, rounds=1)
+    print_report(
+        "Mobility tracking: walking client, three APs",
+        result.as_table()
+        + f"\n\nmedian position error: {result.median_error_m:.2f} m"
+        + f"\nworst position error:  {result.worst_error_m:.2f} m",
+    )
+    assert result.median_error_m < 1.5
+
+
+def test_bench_downlink_beamforming(benchmark):
+    result = benchmark.pedantic(run_beamforming_evaluation, kwargs={"rng": 42},
+                                iterations=1, rounds=1)
+    print_report(
+        "Downlink directional transmission from uplink AoA (gain over one antenna)",
+        result.as_table()
+        + f"\n\nmedian AoA-steered gain: {result.median_steering_gain_db:.1f} dB"
+        + f"\nmedian eigen/MRT gain:   {result.median_eigen_gain_db:.1f} dB",
+    )
+    assert result.median_steering_gain_db > 5.0

@@ -1,0 +1,24 @@
+"""E1 — Figure 5: measured versus ground-truth bearings (circular array).
+
+Paper's result: per-client mean bearings (10 packets each) track the ground
+truth along the diagonal; the mean 99 % confidence interval is about 7
+degrees; the blocked (11, 12) and far (6) clients show the largest variance.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_bench_figure5(benchmark):
+    result = benchmark.pedantic(run_figure5, kwargs={"num_packets": 10, "rng": 42},
+                                iterations=1, rounds=1)
+    print_report(
+        "Figure 5: measured vs ground-truth bearing (20 clients, 10 packets each)",
+        result.as_table()
+        + f"\n\nmean 99% CI half-width: {result.mean_confidence_halfwidth_deg:.2f} deg"
+          f" (paper: ~7 deg)"
+        + f"\nclients within 2.5 deg (mean estimate): {result.fraction_within(2.5):.0%}"
+        + f"\nclients within 14 deg (mean estimate): {result.fraction_within(14.0):.0%}",
+    )
+    assert result.fraction_within(14.0) >= 0.9

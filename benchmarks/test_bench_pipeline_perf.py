@@ -1,0 +1,34 @@
+"""E10 — processing throughput of the per-packet pipeline.
+
+The paper's future work proposes moving packet detection and AoA estimation
+into the FPGA for line-rate operation; this benchmark measures what the pure
+Python pipeline achieves per packet (capture -> calibration -> correlation ->
+MUSIC), which is the number an FPGA or optimised port would be compared
+against.
+"""
+
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import TestbedSimulator
+
+
+def test_bench_aoa_processing_per_packet(benchmark):
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, rng=42)
+    calibration = simulator.calibration_table()
+    estimator = AoAEstimator(array, EstimatorConfig())
+    capture = simulator.capture_from_client(5)
+
+    result = benchmark(lambda: estimator.process(capture, calibration=calibration))
+    assert result.pseudospectrum is not None
+
+
+def test_bench_capture_simulation_per_packet(benchmark):
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, rng=42)
+
+    capture = benchmark(lambda: simulator.capture_from_client(5))
+    assert capture.num_antennas == 8

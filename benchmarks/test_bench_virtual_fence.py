@@ -1,0 +1,25 @@
+"""E5 — the virtual-fence application (Section 2.3.1).
+
+Expected shape: the two-AP triangulation localises indoor clients to within a
+metre or two, admits them, and drops transmitters outside the building —
+including a directional-antenna attacker aiming at the AP.
+"""
+
+from conftest import print_report
+
+from repro.experiments.fence_eval import run_fence_evaluation
+
+
+def test_bench_virtual_fence(benchmark):
+    evaluation = benchmark.pedantic(run_fence_evaluation,
+                                    kwargs={"packets_per_transmitter": 3, "rng": 42},
+                                    iterations=1, rounds=1)
+    print_report(
+        "Virtual fence: two-AP localisation and admit/drop decisions",
+        evaluation.as_table()
+        + f"\n\ninsider admit rate:  {evaluation.insider_admit_rate:.0%}"
+        + f"\noutsider drop rate:  {evaluation.outsider_drop_rate:.0%}"
+        + f"\nmedian localisation error: {evaluation.median_localization_error_m:.2f} m",
+    )
+    assert evaluation.insider_admit_rate >= 0.9
+    assert evaluation.outsider_drop_rate >= 0.75

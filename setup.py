@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs work on environments whose setuptools predates built-in
+``bdist_wheel`` support (no ``wheel`` package available offline).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of SecureAngle: improving wireless security using "
+        "angle-of-arrival information (HotNets 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

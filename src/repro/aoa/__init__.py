@@ -1,0 +1,37 @@
+"""Angle-of-arrival estimation: covariance matrices, MUSIC, and baselines."""
+
+from repro.aoa.covariance import (
+    correlation_matrix,
+    diagonal_loading,
+    forward_backward_average,
+    spatial_smoothing,
+)
+from repro.aoa.spectrum import Pseudospectrum
+from repro.aoa.peaks import find_peaks
+from repro.aoa.source_count import estimate_num_sources
+from repro.aoa.music import music_pseudospectrum
+from repro.aoa.bartlett import bartlett_pseudospectrum
+from repro.aoa.capon import capon_pseudospectrum
+from repro.aoa.root_music import root_music_bearings
+from repro.aoa.esprit import esprit_bearings
+from repro.aoa.phase_interferometry import two_antenna_bearing
+from repro.aoa.estimator import AoAEstimator, AoAEstimate, EstimatorConfig
+
+__all__ = [
+    "correlation_matrix",
+    "forward_backward_average",
+    "spatial_smoothing",
+    "diagonal_loading",
+    "Pseudospectrum",
+    "find_peaks",
+    "estimate_num_sources",
+    "music_pseudospectrum",
+    "bartlett_pseudospectrum",
+    "capon_pseudospectrum",
+    "root_music_bearings",
+    "esprit_bearings",
+    "two_antenna_bearing",
+    "AoAEstimator",
+    "AoAEstimate",
+    "EstimatorConfig",
+]

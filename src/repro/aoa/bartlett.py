@@ -1,0 +1,35 @@
+"""The Bartlett (classical delay-and-sum) beamformer.
+
+The simplest pseudospectrum: steer the array to each candidate angle and
+measure the output power, ``P(theta) = a^H R a / (a^H a)``.  Its resolution is
+limited by the array aperture (no super-resolution), which is why the paper
+uses MUSIC; it is included as a baseline for the estimator-comparison
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.aoa.spectrum import Pseudospectrum
+from repro.arrays.geometry import AntennaArray
+
+
+def bartlett_pseudospectrum(correlation: np.ndarray, array: AntennaArray,
+                            angles_deg: Optional[Sequence[float]] = None) -> Pseudospectrum:
+    """Compute the Bartlett beamformer pseudospectrum."""
+    correlation = np.asarray(correlation, dtype=complex)
+    if correlation.ndim != 2 or correlation.shape != (array.num_elements, array.num_elements):
+        raise ValueError(
+            f"correlation must be ({array.num_elements}, {array.num_elements}), "
+            f"got {correlation.shape}")
+    if angles_deg is None:
+        angles_deg = array.angle_grid()
+    angles = np.asarray(angles_deg, dtype=float)
+    steering = array.steering_matrix(angles)  # (N, A)
+    numerator = np.real(np.einsum("na,nm,ma->a", steering.conj(), correlation, steering))
+    normaliser = np.real(np.sum(np.abs(steering) ** 2, axis=0))
+    values = np.maximum(numerator / np.maximum(normaliser, 1e-15), 0.0)
+    return Pseudospectrum(angles, values, metadata={"estimator": "bartlett"})

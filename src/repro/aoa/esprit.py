@@ -1,0 +1,48 @@
+"""ESPRIT for uniform linear arrays.
+
+ESPRIT exploits the shift invariance of a ULA: the signal subspace seen by
+elements 0..N-2 and the one seen by elements 1..N-1 are related by a rotation
+whose eigenvalues encode the arrival angles.  Like root-MUSIC it is
+search-free and serves as an independent cross-check of the MUSIC results on
+linear-array experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.aoa.covariance import signal_noise_subspaces
+from repro.arrays.geometry import UniformLinearArray
+
+
+def esprit_bearings(correlation: np.ndarray, array: UniformLinearArray,
+                    num_sources: int) -> List[float]:
+    """Bearings (degrees, broadside convention) estimated by (LS-)ESPRIT."""
+    if not isinstance(array, UniformLinearArray):
+        raise TypeError("ESPRIT requires a UniformLinearArray")
+    correlation = np.asarray(correlation, dtype=complex)
+    n = array.num_elements
+    if correlation.shape != (n, n):
+        raise ValueError(f"correlation must be ({n}, {n}), got {correlation.shape}")
+    if num_sources >= n:
+        raise ValueError("num_sources must be smaller than the number of antennas")
+    _, signal, _ = signal_noise_subspaces(correlation, num_sources)
+    upper = signal[:-1, :]
+    lower = signal[1:, :]
+    # Least-squares solution of upper @ Phi = lower.
+    phi, *_ = np.linalg.lstsq(upper, lower, rcond=None)
+    eigenvalues = np.linalg.eigvals(phi)
+
+    bearings: List[float] = []
+    spacing_ratio = array.spacing / array.wavelength
+    for value in eigenvalues:
+        omega = float(np.angle(value))
+        sin_theta = -omega / (2.0 * math.pi * spacing_ratio)
+        if abs(sin_theta) > 1.0:
+            continue
+        bearings.append(math.degrees(math.asin(sin_theta)))
+    bearings.sort()
+    return bearings

@@ -1,0 +1,189 @@
+"""The AoA estimation facade.
+
+``AoAEstimator`` strings together the steps Section 3 of the paper describes:
+take a capture, (optionally) locate the packet with Schmidl–Cox, form the
+correlation matrix over the whole packet, condition it, pick the number of
+sources, and run the chosen spectral estimator.  The result bundles the
+pseudospectrum (the SecureAngle signature input) with the bearing of its
+strongest peak (the paper's bearing estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.aoa.bartlett import bartlett_pseudospectrum
+from repro.aoa.capon import capon_pseudospectrum
+from repro.aoa.covariance import (
+    correlation_matrix,
+    diagonal_loading,
+    forward_backward_average,
+    spatial_smoothing,
+)
+from repro.aoa.music import music_pseudospectrum
+from repro.aoa.source_count import estimate_num_sources
+from repro.aoa.spectrum import Pseudospectrum
+from repro.arrays.geometry import AntennaArray, UniformLinearArray
+from repro.calibration.table import CalibrationTable
+from repro.hardware.capture import Capture
+from repro.phy.schmidl_cox import SchmidlCoxDetector
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Configuration of the AoA estimation pipeline."""
+
+    #: Spectral estimator: "music", "bartlett", or "capon".
+    method: str = "music"
+    #: Angle-grid resolution in degrees.
+    resolution_deg: float = 1.0
+    #: Fixed number of sources; ``None`` estimates it per capture.
+    num_sources: Optional[int] = None
+    #: Source-count criterion when ``num_sources`` is ``None``: "mdl", "aic", or "gap".
+    source_count_method: str = "gap"
+    #: Cap on the estimated number of sources.  Overestimating the signal
+    #: subspace on a calibrated-but-imperfect array produces spurious
+    #: near-endfire peaks, so the default stays conservative.
+    max_sources: int = 3
+    #: Apply forward-backward averaging to the correlation matrix.  Only valid
+    #: (and only applied) for uniform linear arrays, whose manifold satisfies
+    #: the conjugate-symmetry the technique relies on.
+    forward_backward: bool = True
+    #: Spatial-smoothing subarray size (uniform linear arrays only); ``None`` disables.
+    smoothing_subarray: Optional[int] = None
+    #: Diagonal loading factor applied before eigendecomposition.
+    loading_factor: float = 1e-6
+    #: Run Schmidl–Cox packet detection and restrict processing to the packet.
+    detect_packet: bool = False
+    #: Refuse to process captures whose per-chain phase offsets have not been
+    #: calibrated out.  The calibration ablation sets this to False.
+    require_calibrated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.method not in ("music", "bartlett", "capon"):
+            raise ValueError(f"unknown estimator method {self.method!r}")
+        if self.resolution_deg <= 0:
+            raise ValueError("resolution_deg must be positive")
+        if self.num_sources is not None and self.num_sources < 1:
+            raise ValueError("num_sources must be positive")
+        if self.max_sources < 1:
+            raise ValueError("max_sources must be positive")
+        if self.smoothing_subarray is not None and self.smoothing_subarray < 2:
+            raise ValueError("smoothing_subarray must be at least 2")
+        if self.loading_factor < 0:
+            raise ValueError("loading_factor must be non-negative")
+
+
+@dataclass(frozen=True)
+class AoAEstimate:
+    """Result of processing one capture."""
+
+    #: The pseudospectrum (the SecureAngle signature input).
+    pseudospectrum: Pseudospectrum
+    #: Bearing of the strongest peak, degrees (the paper's bearing estimate).
+    bearing_deg: float
+    #: All significant peaks, strongest first.
+    peak_bearings_deg: List[float] = field(default_factory=list)
+    #: Number of sources the estimator assumed.
+    num_sources: int = 1
+    #: Sample index where the packet was found (if detection ran).
+    packet_start: Optional[int] = None
+
+
+class AoAEstimator:
+    """Estimate angle-of-arrival pseudospectra from captures."""
+
+    def __init__(self, array: AntennaArray, config: EstimatorConfig = EstimatorConfig()):
+        self.array = array
+        self.config = config
+        self._detector: Optional[SchmidlCoxDetector] = None
+
+    # ------------------------------------------------------------------ public
+    def process(self, capture: Capture,
+                calibration: Optional[CalibrationTable] = None) -> AoAEstimate:
+        """Process one capture into an :class:`AoAEstimate`.
+
+        A raw capture can be calibrated on the fly by passing ``calibration``;
+        otherwise the capture must already be calibrated (unless the
+        configuration disables the check, as the calibration ablation does).
+        """
+        if calibration is not None and not capture.calibrated:
+            capture = calibration.apply(capture)
+        if self.config.require_calibrated and not capture.calibrated:
+            raise ValueError(
+                "capture is not calibrated; pass a CalibrationTable or disable "
+                "require_calibrated (see the calibration ablation)")
+        if capture.num_antennas != self.array.num_elements:
+            raise ValueError(
+                f"capture has {capture.num_antennas} antennas but the array has "
+                f"{self.array.num_elements} elements")
+
+        samples = capture.samples
+        packet_start: Optional[int] = None
+        if self.config.detect_packet:
+            samples, packet_start = self._extract_packet(capture)
+
+        matrix, effective_samples = self._conditioned_correlation(samples)
+        num_sources = self._num_sources(matrix, effective_samples)
+        spectrum = self._spectrum(matrix, num_sources)
+        peaks = spectrum.peak_bearings(max_peaks=self.config.max_sources)
+        bearing = peaks[0] if peaks else spectrum.peak_bearing()
+        return AoAEstimate(
+            pseudospectrum=spectrum,
+            bearing_deg=float(bearing),
+            peak_bearings_deg=peaks,
+            num_sources=num_sources,
+            packet_start=packet_start,
+        )
+
+    def process_samples(self, samples: np.ndarray) -> AoAEstimate:
+        """Convenience wrapper for already-calibrated raw sample matrices."""
+        capture = Capture(samples=samples, calibrated=True)
+        return self.process(capture)
+
+    # ---------------------------------------------------------------- internals
+    def _extract_packet(self, capture: Capture):
+        if self._detector is None:
+            self._detector = SchmidlCoxDetector(sample_rate_hz=capture.sample_rate_hz)
+        detection = self._detector.detect_first(capture.samples[0])
+        if detection is None:
+            return capture.samples, None
+        start = detection.start_index
+        return capture.samples[:, start:], start
+
+    def _conditioned_correlation(self, samples: np.ndarray):
+        if self.config.smoothing_subarray is not None:
+            if not isinstance(self.array, UniformLinearArray):
+                raise ValueError("spatial smoothing requires a uniform linear array")
+            matrix = spatial_smoothing(samples, self.config.smoothing_subarray)
+        else:
+            matrix = correlation_matrix(samples)
+        if self.config.forward_backward and isinstance(self.array, UniformLinearArray):
+            matrix = forward_backward_average(matrix)
+        if self.config.loading_factor > 0:
+            matrix = diagonal_loading(matrix, self.config.loading_factor)
+        return matrix, samples.shape[1]
+
+    def _num_sources(self, matrix: np.ndarray, num_samples: int) -> int:
+        max_sources = min(self.config.max_sources, matrix.shape[0] - 1)
+        if self.config.num_sources is not None:
+            return min(self.config.num_sources, matrix.shape[0] - 1)
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        return estimate_num_sources(eigenvalues, num_samples,
+                                    method=self.config.source_count_method,
+                                    max_sources=max_sources)
+
+    def _spectrum(self, matrix: np.ndarray, num_sources: int) -> Pseudospectrum:
+        angles = self.array.angle_grid(self.config.resolution_deg)
+        if self.config.method == "music":
+            return music_pseudospectrum(matrix, self.array, num_sources, angles)
+        if self.config.method == "capon":
+            if matrix.shape[0] != self.array.num_elements:
+                raise ValueError("capon does not support spatially smoothed matrices")
+            return capon_pseudospectrum(matrix, self.array, angles)
+        if matrix.shape[0] != self.array.num_elements:
+            raise ValueError("bartlett does not support spatially smoothed matrices")
+        return bartlett_pseudospectrum(matrix, self.array, angles)

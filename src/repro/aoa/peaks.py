@@ -1,0 +1,76 @@
+"""Peak finding on pseudospectra.
+
+A small, dependency-light peak finder: local maxima above a relative height
+threshold, separated by a minimum distance, optionally treating the grid as
+circular (for full-360-degree pseudospectra).  Returned indices are sorted by
+descending peak value so callers can take "the strongest peak" (the paper's
+bearing estimate) or "all significant peaks" (the multipath signature).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def find_peaks(values: np.ndarray, wrap: bool = False,
+               min_relative_height: float = 0.05,
+               min_separation: int = 3) -> List[int]:
+    """Indices of significant local maxima in ``values``, strongest first.
+
+    Parameters
+    ----------
+    values:
+        1-D non-negative array.
+    wrap:
+        Treat the array as circular (last sample adjacent to the first).
+    min_relative_height:
+        Peaks smaller than this fraction of the global maximum are ignored.
+    min_separation:
+        Minimum index separation between reported peaks; of two close peaks,
+        only the stronger is kept.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size < 3:
+        return []
+    if not 0.0 <= min_relative_height <= 1.0:
+        raise ValueError("min_relative_height must be in [0, 1]")
+    if min_separation < 1:
+        raise ValueError("min_separation must be at least 1")
+    global_max = float(np.max(values))
+    if global_max <= 0:
+        return []
+    threshold = global_max * min_relative_height
+
+    candidates: List[int] = []
+    n = values.size
+    for index in range(n):
+        if not wrap and (index == 0 or index == n - 1):
+            # Ends of a non-wrapping grid count as peaks if they dominate
+            # their single neighbour; this keeps bearings near +/-90 degrees
+            # on linear arrays from being silently dropped.
+            neighbour = values[1] if index == 0 else values[n - 2]
+            if values[index] >= threshold and values[index] > neighbour:
+                candidates.append(index)
+            continue
+        left = values[(index - 1) % n]
+        right = values[(index + 1) % n]
+        if values[index] >= threshold and values[index] >= left and values[index] > right:
+            candidates.append(index)
+
+    # Enforce minimum separation, keeping stronger peaks first.
+    candidates.sort(key=lambda i: values[i], reverse=True)
+    selected: List[int] = []
+    for index in candidates:
+        too_close = False
+        for kept in selected:
+            distance = abs(index - kept)
+            if wrap:
+                distance = min(distance, n - distance)
+            if distance < min_separation:
+                too_close = True
+                break
+        if not too_close:
+            selected.append(index)
+    return selected

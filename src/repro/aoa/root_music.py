@@ -1,0 +1,60 @@
+"""Root-MUSIC for uniform linear arrays.
+
+Instead of scanning a grid, root-MUSIC finds the roots of the noise-subspace
+polynomial closest to the unit circle and converts their phases to bearings.
+It only applies to uniform linear arrays (the polynomial structure requires a
+Vandermonde manifold) and is included both as a higher-precision alternative
+for the linear-array experiments and as a cross-check on the grid-based MUSIC
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.aoa.covariance import signal_noise_subspaces
+from repro.arrays.geometry import UniformLinearArray
+
+
+def root_music_bearings(correlation: np.ndarray, array: UniformLinearArray,
+                        num_sources: int) -> List[float]:
+    """Bearings (degrees, broadside convention) estimated by root-MUSIC.
+
+    Returns up to ``num_sources`` bearings sorted by how close their roots lie
+    to the unit circle (most reliable first).
+    """
+    if not isinstance(array, UniformLinearArray):
+        raise TypeError("root-MUSIC requires a UniformLinearArray")
+    correlation = np.asarray(correlation, dtype=complex)
+    n = array.num_elements
+    if correlation.shape != (n, n):
+        raise ValueError(f"correlation must be ({n}, {n}), got {correlation.shape}")
+    _, _, noise = signal_noise_subspaces(correlation, num_sources)
+    projector = noise @ noise.conj().T  # (N, N)
+
+    # Build the polynomial sum_k c_k z^k where c_k is the sum of the k-th
+    # diagonal of the noise projector; its roots pair up inside/outside the
+    # unit circle, one pair per candidate direction.
+    coefficients = np.zeros(2 * n - 1, dtype=complex)
+    for diag in range(-(n - 1), n):
+        coefficients[diag + n - 1] = np.trace(projector, offset=diag)
+    roots = np.roots(coefficients[::-1])
+    # Keep roots inside (or on) the unit circle and sort by closeness to it.
+    inside = roots[np.abs(roots) <= 1.0 + 1e-9]
+    if inside.size == 0:
+        return []
+    order = np.argsort(np.abs(np.abs(inside) - 1.0))
+    selected = inside[order][:num_sources]
+
+    bearings: List[float] = []
+    spacing_ratio = array.spacing / array.wavelength
+    for root in selected:
+        omega = float(np.angle(root))
+        sin_theta = -omega / (2.0 * math.pi * spacing_ratio)
+        if abs(sin_theta) > 1.0:
+            continue
+        bearings.append(math.degrees(math.asin(sin_theta)))
+    return bearings

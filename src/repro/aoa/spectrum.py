@@ -1,0 +1,126 @@
+"""Pseudospectra.
+
+The output of the AoA estimators is a *pseudospectrum*: a continuous plot of
+likelihood versus angle (Section 2.1).  SecureAngle uses the pseudospectrum
+directly as the client signature, so the container offers both estimation
+conveniences (peak extraction, the bearing of the maximum) and the
+normalisation / resampling operations the signature layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.aoa.peaks import find_peaks
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class Pseudospectrum:
+    """A sampled likelihood-versus-angle curve.
+
+    Parameters
+    ----------
+    angles_deg:
+        Monotonically increasing evaluation grid (degrees).
+    values:
+        Non-negative likelihood values on the grid (linear scale, not dB).
+    metadata:
+        Free-form annotations (estimator name, number of sources, etc.).
+    """
+
+    angles_deg: np.ndarray
+    values: np.ndarray
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        angles = np.asarray(self.angles_deg, dtype=float).ravel()
+        values = np.asarray(self.values, dtype=float).ravel()
+        if angles.size != values.size:
+            raise ValueError("angles and values must have the same length")
+        if angles.size < 2:
+            raise ValueError("a pseudospectrum needs at least two grid points")
+        if np.any(np.diff(angles) <= 0):
+            raise ValueError("the angle grid must be strictly increasing")
+        if np.any(values < 0) or not np.all(np.isfinite(values)):
+            raise ValueError("pseudospectrum values must be finite and non-negative")
+        object.__setattr__(self, "angles_deg", angles)
+        object.__setattr__(self, "values", values)
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def wraps_around(self) -> bool:
+        """True when the grid spans a full circle (circular-array convention)."""
+        span = self.angles_deg[-1] - self.angles_deg[0]
+        step = self.angles_deg[1] - self.angles_deg[0]
+        return span + step >= 360.0 - 1e-9
+
+    def peak_bearing(self) -> float:
+        """Angle (degrees) of the global maximum — the paper's bearing estimate."""
+        return float(self.angles_deg[int(np.argmax(self.values))])
+
+    def peak_bearings(self, max_peaks: Optional[int] = None,
+                      min_relative_height: float = 0.05,
+                      min_separation_deg: float = 5.0) -> List[float]:
+        """Angles of local maxima, strongest first."""
+        indices = find_peaks(self.values, wrap=self.wraps_around,
+                             min_relative_height=min_relative_height,
+                             min_separation=self._separation_samples(min_separation_deg))
+        bearings = [float(self.angles_deg[i]) for i in indices]
+        if max_peaks is not None:
+            bearings = bearings[:max_peaks]
+        return bearings
+
+    def value_at(self, angle_deg: float) -> float:
+        """Linear interpolation of the pseudospectrum at an arbitrary angle."""
+        if self.wraps_around:
+            angle_deg = (angle_deg - self.angles_deg[0]) % 360.0 + self.angles_deg[0]
+        return float(np.interp(angle_deg, self.angles_deg, self.values))
+
+    def to_db(self, floor_db: float = -60.0) -> np.ndarray:
+        """Values in dB relative to the maximum, floored at ``floor_db``.
+
+        This is the normalisation the paper's Figures 6 and 7 plot (peak at
+        0 dB).
+        """
+        peak = float(np.max(self.values))
+        if peak <= 0:
+            return np.full_like(self.values, floor_db)
+        db = 10.0 * np.log10(np.maximum(self.values / peak, 10.0 ** (floor_db / 10.0)))
+        return db
+
+    # ------------------------------------------------------------- transforms
+    def normalized(self) -> "Pseudospectrum":
+        """Return a copy scaled so the maximum value is 1."""
+        peak = float(np.max(self.values))
+        if peak <= 0:
+            raise ValueError("cannot normalise an all-zero pseudospectrum")
+        return Pseudospectrum(self.angles_deg.copy(), self.values / peak, dict(self.metadata))
+
+    def resampled(self, angles_deg: np.ndarray) -> "Pseudospectrum":
+        """Return a copy interpolated onto a different angle grid."""
+        angles_deg = np.asarray(angles_deg, dtype=float).ravel()
+        values = np.array([self.value_at(a) for a in angles_deg])
+        return Pseudospectrum(angles_deg, values, dict(self.metadata))
+
+    def with_metadata(self, **entries: Any) -> "Pseudospectrum":
+        """Return a copy with extra metadata merged in."""
+        merged = dict(self.metadata)
+        merged.update(entries)
+        return Pseudospectrum(self.angles_deg.copy(), self.values.copy(), merged)
+
+    # -------------------------------------------------------------- internals
+    def _separation_samples(self, separation_deg: float) -> int:
+        require_positive(separation_deg, "min_separation_deg")
+        step = float(self.angles_deg[1] - self.angles_deg[0])
+        return max(int(round(separation_deg / step)), 1)
+
+    def __len__(self) -> int:
+        return int(self.angles_deg.size)
+
+    def __repr__(self) -> str:
+        return (f"Pseudospectrum({self.angles_deg[0]:.0f}..{self.angles_deg[-1]:.0f} deg, "
+                f"{len(self)} points, peak at {self.peak_bearing():.1f} deg)")

@@ -1,0 +1,22 @@
+"""Antenna array geometries and array manifolds (steering vectors)."""
+
+from repro.arrays.geometry import (
+    AntennaArray,
+    ArbitraryArray,
+    OctagonalArray,
+    UniformCircularArray,
+    UniformLinearArray,
+)
+from repro.arrays.steering import steering_matrix, steering_vector
+from repro.arrays.subarray import subarray
+
+__all__ = [
+    "AntennaArray",
+    "ArbitraryArray",
+    "OctagonalArray",
+    "UniformCircularArray",
+    "UniformLinearArray",
+    "steering_vector",
+    "steering_matrix",
+    "subarray",
+]

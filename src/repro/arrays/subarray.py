@@ -1,0 +1,63 @@
+"""Subarray selection.
+
+Figure 7 of the paper processes the *same* capture with 2, 4, 6 and 8
+antennas to show how resolution improves with array size.  ``subarray``
+selects a subset of elements from an array (and the matching rows of a
+capture) without re-simulating the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray, ArbitraryArray
+
+
+def subarray(array: AntennaArray, element_indices: Optional[Sequence[int]] = None,
+             num_elements: Optional[int] = None) -> AntennaArray:
+    """Return a new array containing a subset of ``array``'s elements.
+
+    Either ``element_indices`` (explicit selection) or ``num_elements`` (the
+    first ``num_elements`` elements, matching how the prototype would simply
+    ignore trailing radio chains) must be supplied.
+    """
+    if (element_indices is None) == (num_elements is None):
+        raise ValueError("supply exactly one of element_indices or num_elements")
+    if num_elements is not None:
+        if num_elements < 2:
+            raise ValueError("a subarray needs at least two elements")
+        if num_elements > array.num_elements:
+            raise ValueError(
+                f"requested {num_elements} elements but the array only has {array.num_elements}")
+        indices = list(range(num_elements))
+    else:
+        indices = list(element_indices)  # type: ignore[arg-type]
+        if len(indices) < 2:
+            raise ValueError("a subarray needs at least two elements")
+        if len(set(indices)) != len(indices):
+            raise ValueError("element indices must be unique")
+        for index in indices:
+            if not 0 <= index < array.num_elements:
+                raise IndexError(f"element index {index} out of range "
+                                 f"for an array of {array.num_elements} elements")
+    positions = array.element_positions[indices]
+    return ArbitraryArray(positions, array.carrier_frequency_hz,
+                          name=f"{array.name}-sub{len(indices)}")
+
+
+def subarray_samples(samples: np.ndarray, element_indices: Optional[Sequence[int]] = None,
+                     num_elements: Optional[int] = None) -> np.ndarray:
+    """Select the rows of a (N, T) capture matching a subarray selection."""
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise ValueError(f"samples must be a (num_antennas, num_samples) array, got {samples.shape}")
+    if (element_indices is None) == (num_elements is None):
+        raise ValueError("supply exactly one of element_indices or num_elements")
+    if num_elements is not None:
+        if not 2 <= num_elements <= samples.shape[0]:
+            raise ValueError(f"num_elements must be in [2, {samples.shape[0]}], got {num_elements}")
+        return samples[:num_elements]
+    indices = list(element_indices)  # type: ignore[arg-type]
+    return samples[indices]

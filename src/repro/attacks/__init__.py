@@ -1,0 +1,17 @@
+"""Attacker models matching the paper's threat model (Section 1)."""
+
+from repro.attacks.attacker import (
+    AntennaArrayAttacker,
+    Attacker,
+    DirectionalAntennaAttacker,
+    OmnidirectionalAttacker,
+)
+from repro.attacks.spoofing_attack import SpoofingAttack
+
+__all__ = [
+    "Attacker",
+    "OmnidirectionalAttacker",
+    "DirectionalAntennaAttacker",
+    "AntennaArrayAttacker",
+    "SpoofingAttack",
+]

@@ -1,0 +1,59 @@
+"""MAC spoofing attack scenarios.
+
+A spoofing attack is an attacker transmitting frames whose source address is a
+legitimate client's MAC address (Section 2.3.2).  ``SpoofingAttack`` pairs an
+attacker model with the victim's address and produces the spoofed frames the
+experiment injects; the evaluation then measures how often the SecureAngle
+detector flags them (detection rate) and how often it wrongly flags the
+legitimate client's own frames (false-alarm rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.attacks.attacker import Attacker
+from repro.mac.address import MacAddress
+from repro.mac.frames import Dot11Frame, FrameType
+
+
+@dataclass
+class SpoofingAttack:
+    """An attacker injecting frames with a victim's source address."""
+
+    attacker: Attacker
+    victim_address: MacAddress
+    ap_address: MacAddress
+    #: Number of spoofed frames the attacker injects.
+    num_frames: int = 20
+    #: Sequence number the attacker starts from (attackers typically do not
+    #: know the victim's current counter, which is itself a detectable anomaly
+    #: for other systems; SecureAngle does not rely on it).
+    initial_sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 1:
+            raise ValueError("num_frames must be at least 1")
+        if not 0 <= self.initial_sequence < 4096:
+            raise ValueError("initial_sequence must fit in 12 bits")
+
+    def frames(self) -> List[Dot11Frame]:
+        """The spoofed frames, in injection order."""
+        return list(self.iter_frames())
+
+    def iter_frames(self) -> Iterator[Dot11Frame]:
+        """Yield spoofed data frames claiming the victim's address."""
+        for offset in range(self.num_frames):
+            yield Dot11Frame(
+                source=self.victim_address,
+                destination=self.ap_address,
+                frame_type=FrameType.DATA,
+                sequence_number=(self.initial_sequence + offset) % 4096,
+                payload=b"injected",
+            )
+
+    @property
+    def transmitter_position(self):
+        """Where the spoofed frames are actually transmitted from."""
+        return self.attacker.position

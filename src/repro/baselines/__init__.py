@@ -1,0 +1,11 @@
+"""Baseline physical-layer identification schemes the paper compares against."""
+
+from repro.baselines.rss_signalprint import RssSignalprint, RssSpoofingDetector
+from repro.baselines.radar_localization import RadarLocalizer, RssFingerprint
+
+__all__ = [
+    "RssSignalprint",
+    "RssSpoofingDetector",
+    "RssFingerprint",
+    "RadarLocalizer",
+]

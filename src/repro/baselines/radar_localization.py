@@ -1,0 +1,83 @@
+"""RADAR-style RSS fingerprint localisation (Bahl & Padmanabhan, Infocom 2000).
+
+The paper cites RADAR as the canonical RSS-based location system.  It is
+included as the localisation baseline for the virtual-fence evaluation: a
+training phase records the RSS vector (one entry per AP) at known positions,
+and localisation returns the position of the nearest fingerprint (or the
+centroid of the k nearest) in signal space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class RssFingerprint:
+    """One training sample: a known position and the RSS vector seen there."""
+
+    position: Point
+    rss_dbm: np.ndarray
+
+    def __post_init__(self) -> None:
+        rss = np.asarray(self.rss_dbm, dtype=float).ravel()
+        if rss.size < 1:
+            raise ValueError("a fingerprint needs at least one RSS value")
+        if not np.all(np.isfinite(rss)):
+            raise ValueError("RSS values must be finite")
+        object.__setattr__(self, "rss_dbm", rss)
+
+
+class RadarLocalizer:
+    """k-nearest-neighbour localisation in RSS space."""
+
+    def __init__(self, k: int = 3):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        self._fingerprints: List[RssFingerprint] = []
+
+    def train(self, fingerprints: Sequence[RssFingerprint]) -> None:
+        """Add training fingerprints to the radio map."""
+        fingerprints = list(fingerprints)
+        if not fingerprints:
+            raise ValueError("at least one fingerprint is required")
+        size = fingerprints[0].rss_dbm.size
+        for fingerprint in fingerprints:
+            if fingerprint.rss_dbm.size != size:
+                raise ValueError("all fingerprints must cover the same set of APs")
+        self._fingerprints.extend(fingerprints)
+
+    @property
+    def num_fingerprints(self) -> int:
+        """Number of training samples in the radio map."""
+        return len(self._fingerprints)
+
+    def locate(self, rss_dbm: Sequence[float]) -> Point:
+        """Estimate the position for an observed RSS vector.
+
+        Returns the centroid of the k nearest fingerprints in Euclidean RSS
+        distance.
+        """
+        if not self._fingerprints:
+            raise ValueError("the localiser has not been trained")
+        observation = np.asarray(rss_dbm, dtype=float).ravel()
+        if observation.size != self._fingerprints[0].rss_dbm.size:
+            raise ValueError("observation does not cover the same set of APs as the radio map")
+        distances = np.array([
+            float(np.linalg.norm(observation - fp.rss_dbm)) for fp in self._fingerprints
+        ])
+        nearest = np.argsort(distances)[: min(self.k, len(self._fingerprints))]
+        xs = [self._fingerprints[i].position.x for i in nearest]
+        ys = [self._fingerprints[i].position.y for i in nearest]
+        return Point(float(np.mean(xs)), float(np.mean(ys)))
+
+    def localization_error_m(self, rss_dbm: Sequence[float], true_position: Point) -> float:
+        """Euclidean error (metres) of the estimate against ``true_position``."""
+        estimate = self.locate(rss_dbm)
+        return estimate.distance_to(true_position)

@@ -1,0 +1,10 @@
+"""Access-point phase calibration (Section 2.2 of the paper)."""
+
+from repro.calibration.table import CalibrationTable
+from repro.calibration.procedure import calibrate_receiver, measure_relative_phase_offsets
+
+__all__ = [
+    "CalibrationTable",
+    "calibrate_receiver",
+    "measure_relative_phase_offsets",
+]

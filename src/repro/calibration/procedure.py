@@ -1,0 +1,53 @@
+"""The calibration procedure of Section 2.2.
+
+The access point throws every chain's RF switch to the calibration input,
+captures the cabled continuous-wave tone, and measures each chain's phase
+relative to chain 0.  Because every chain receives the *same* tone over an
+equal-length path, those relative phases are exactly the downconverters'
+unknown offsets; subtracting them from subsequent over-the-air captures makes
+the inter-antenna phase comparison of Section 2.1 valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration.table import CalibrationTable
+from repro.hardware.capture import Capture
+from repro.hardware.receiver import ArrayReceiver
+from repro.hardware.reference import CalibrationSource
+from repro.utils.rng import RngLike
+
+
+def measure_relative_phase_offsets(calibration_capture: Capture) -> np.ndarray:
+    """Estimate per-chain phase offsets (relative to chain 0) from a calibration capture.
+
+    The estimator correlates each chain's samples against chain 0's samples and
+    takes the phase of the mean correlation — the same correlation-matrix
+    averaging the AoA pipeline uses, applied to one column.  Averaging over the
+    whole capture suppresses thermal noise.
+    """
+    samples = calibration_capture.samples
+    if samples.shape[0] < 2:
+        raise ValueError("calibration requires at least two chains")
+    reference = samples[0]
+    reference_power = float(np.mean(np.abs(reference) ** 2))
+    if reference_power <= 0:
+        raise ValueError("calibration capture has no signal on chain 0")
+    correlations = np.mean(samples * np.conj(reference)[None, :], axis=1)
+    phases = np.angle(correlations)
+    return np.mod(phases - phases[0], 2.0 * np.pi)
+
+
+def calibrate_receiver(receiver: ArrayReceiver, source: CalibrationSource,
+                       num_samples: int = 4096, rng: RngLike = None) -> CalibrationTable:
+    """Run the full calibration procedure against ``receiver``.
+
+    Switches the receiver to the calibration input, captures ``num_samples``
+    samples of the cabled tone, measures the relative phase offsets, and
+    returns them as a :class:`CalibrationTable`.
+    """
+    capture = receiver.capture_calibration(source, num_samples=num_samples, rng=rng)
+    offsets = measure_relative_phase_offsets(capture)
+    return CalibrationTable(relative_phase_rad=offsets,
+                            measured_at_s=capture.timestamp_s)

@@ -1,0 +1,96 @@
+"""Calibration tables.
+
+A calibration table stores, for each radio chain, the phase offset measured
+relative to chain 0 while the calibration tone was being received.  Applying
+the table to a capture multiplies each chain's samples by the conjugate
+correction, cancelling the unknown downconverter phases so that the remaining
+inter-chain phase differences are purely geometric — the quantity AoA
+estimation needs (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.capture import Capture
+
+
+@dataclass(frozen=True)
+class CalibrationTable:
+    """Per-chain phase corrections relative to chain 0.
+
+    Parameters
+    ----------
+    relative_phase_rad:
+        Length-N array; entry k is the phase of chain k relative to chain 0
+        as measured from the calibration capture.  Entry 0 is zero by
+        construction.
+    measured_at_s:
+        Timestamp of the calibration measurement, for record keeping.
+    """
+
+    relative_phase_rad: np.ndarray
+    measured_at_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        phases = np.asarray(self.relative_phase_rad, dtype=float)
+        if phases.ndim != 1 or phases.size < 1:
+            raise ValueError("relative_phase_rad must be a non-empty 1-D array")
+        if not np.all(np.isfinite(phases)):
+            raise ValueError("relative phases must be finite")
+        phases = np.mod(phases - phases[0], 2.0 * np.pi)
+        object.__setattr__(self, "relative_phase_rad", phases)
+
+    @property
+    def num_chains(self) -> int:
+        """Number of chains the table covers."""
+        return int(self.relative_phase_rad.size)
+
+    def correction_factors(self) -> np.ndarray:
+        """Complex factors that cancel the measured offsets when multiplied in."""
+        return np.exp(-1j * self.relative_phase_rad)
+
+    def apply(self, capture: Capture) -> Capture:
+        """Return a calibrated copy of ``capture``.
+
+        Raises
+        ------
+        ValueError
+            If the capture's antenna count does not match the table, or the
+            capture is already calibrated (applying a table twice would
+            silently corrupt phases).
+        """
+        if capture.calibrated:
+            raise ValueError("capture is already calibrated")
+        if capture.num_antennas != self.num_chains:
+            raise ValueError(
+                f"capture has {capture.num_antennas} antennas but the table "
+                f"covers {self.num_chains} chains")
+        corrected = capture.samples * self.correction_factors()[:, None]
+        return capture.with_samples(corrected, calibrated=True)
+
+    def residual_against(self, other: "CalibrationTable") -> float:
+        """Largest absolute phase discrepancy (radians) against another table.
+
+        Used to check calibration stability: re-measuring the offsets should
+        give (nearly) the same table as long as the hardware has not changed.
+        """
+        if other.num_chains != self.num_chains:
+            raise ValueError("tables cover a different number of chains")
+        diff = np.angle(np.exp(1j * (self.relative_phase_rad - other.relative_phase_rad)))
+        return float(np.max(np.abs(diff)))
+
+    @staticmethod
+    def identity(num_chains: int) -> "CalibrationTable":
+        """A table with zero corrections (useful for the no-calibration ablation)."""
+        if num_chains < 1:
+            raise ValueError("num_chains must be at least 1")
+        return CalibrationTable(np.zeros(num_chains))
+
+    def __repr__(self) -> str:
+        degrees = np.degrees(self.relative_phase_rad)
+        summary = ", ".join(f"{d:.1f}" for d in degrees)
+        return f"CalibrationTable([{summary}] deg)"

@@ -1,0 +1,23 @@
+"""Multipath propagation channel: paths, ray tracing, dynamics, noise."""
+
+from repro.channel.path import PathKind, PropagationPath
+from repro.channel.pathloss import free_space_path_loss_db, log_distance_path_loss_db
+from repro.channel.raytracer import RayTracer
+from repro.channel.dynamics import DynamicsConfig, EnvironmentDynamics
+from repro.channel.noise import awgn, measure_snr_db, noise_power_for_snr
+from repro.channel.channel import ArrayChannel, ChannelConfig
+
+__all__ = [
+    "PathKind",
+    "PropagationPath",
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "RayTracer",
+    "DynamicsConfig",
+    "EnvironmentDynamics",
+    "measure_snr_db",
+    "awgn",
+    "noise_power_for_snr",
+    "ArrayChannel",
+    "ChannelConfig",
+]

@@ -1,0 +1,215 @@
+"""The array channel: turn propagation paths into per-antenna baseband samples.
+
+``ArrayChannel`` implements the superposition the paper's Figure 1 describes:
+each propagation path arrives as a plane wave whose phase progresses by 2*pi
+per wavelength travelled, and the antennas of the array each see that wave
+with a geometry-dependent extra phase (the steering vector).  The channel sums
+the paths, giving the noiseless per-antenna signal; receiver impairments
+(per-chain phase offsets, gain mismatch, thermal noise) are added by the
+hardware layer in :mod:`repro.hardware`, because that is where they arise in
+the real prototype.
+
+Coherent multipath
+------------------
+All paths carry delayed copies of the same packet, which would make the
+spatial covariance rank-1 and hide the weaker paths from MUSIC.  Two physical
+effects break this coherence in the real system and are modelled here:
+
+* **Wideband delay decorrelation** — at 20 MHz bandwidth, reflections tens of
+  nanoseconds longer than the direct path are partially decorrelated.  The
+  channel applies each path's true (fractional) sample delay via an FFT-domain
+  delay filter.
+* **Per-path phase dynamics** — residual carrier-frequency offset and
+  scatterer micro-motion give each path a slowly wandering phase over the
+  packet.  The channel applies an independent random-walk phase per path
+  (common across antennas so the spatial structure of the path is untouched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray
+from repro.arrays.steering import steering_vector
+from repro.channel.path import PropagationPath
+from repro.constants import (
+    DEFAULT_CARRIER_FREQUENCY_HZ,
+    DEFAULT_SAMPLE_RATE_HZ,
+    wavelength,
+)
+from repro.utils.decibels import dbm_to_watts
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Parameters of the array channel model."""
+
+    #: Carrier frequency (Hz); sets the wavelength used for steering phases.
+    carrier_frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ
+    #: Complex baseband sampling rate (Hz).
+    sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ
+    #: Standard deviation (radians) of the per-sample random-walk phase applied
+    #: independently to each path.  Zero disables the mechanism.
+    path_phase_walk_std_rad: float = 0.02
+    #: Whether to apply each path's fractional sample delay (FFT-domain).
+    apply_path_delays: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(self.carrier_frequency_hz, "carrier_frequency_hz")
+        require_positive(self.sample_rate_hz, "sample_rate_hz")
+        if self.path_phase_walk_std_rad < 0:
+            raise ValueError("path_phase_walk_std_rad must be non-negative")
+
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength in metres."""
+        return wavelength(self.carrier_frequency_hz)
+
+
+class ArrayChannel:
+    """Propagate a transmit waveform over a set of paths onto an antenna array.
+
+    Parameters
+    ----------
+    array:
+        The receiving antenna array (element positions in its local frame).
+    orientation_deg:
+        Rotation of the array's local frame within the global floor plan.
+        A path arriving from global bearing ``b`` impinges on the array from
+        local azimuth ``b - orientation_deg``.
+    config:
+        Channel model parameters.
+    rng:
+        Seed or generator for the stochastic parts of the model.
+    """
+
+    def __init__(self, array: AntennaArray, orientation_deg: float = 0.0,
+                 config: ChannelConfig = ChannelConfig(), rng: RngLike = None):
+        self.array = array
+        self.orientation_deg = float(orientation_deg)
+        self.config = config
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ public
+    def propagate(self, waveform: np.ndarray, paths: Sequence[PropagationPath],
+                  tx_power_dbm: float = 15.0,
+                  path_fading: Optional[np.ndarray] = None,
+                  rng: RngLike = None) -> np.ndarray:
+        """Return the noiseless (num_antennas, num_samples) received signal.
+
+        Parameters
+        ----------
+        waveform:
+            Unit-power complex baseband transmit waveform (1-D).
+        paths:
+            Propagation paths from the ray tracer (possibly evolved by
+            :class:`repro.channel.dynamics.EnvironmentDynamics`).
+        tx_power_dbm:
+            Transmit power; path gains are applied on top of this.
+        path_fading:
+            Optional per-path complex fading factors (for example from
+            ``EnvironmentDynamics.fast_fading_jitter``); length must match
+            ``paths``.
+        rng:
+            Overrides the channel's generator for this packet (useful for
+            per-packet reproducibility in experiments).
+        """
+        waveform = np.asarray(waveform, dtype=complex)
+        if waveform.ndim != 1:
+            raise ValueError(f"waveform must be 1-D, got shape {waveform.shape}")
+        if waveform.size == 0:
+            raise ValueError("waveform must not be empty")
+        paths = list(paths)
+        if not paths:
+            raise ValueError("at least one propagation path is required")
+        if path_fading is not None:
+            path_fading = np.asarray(path_fading, dtype=complex)
+            if path_fading.shape != (len(paths),):
+                raise ValueError(
+                    f"path_fading must have shape ({len(paths)},), got {path_fading.shape}")
+        generator = ensure_rng(rng) if rng is not None else self._rng
+
+        tx_amplitude = float(np.sqrt(dbm_to_watts(tx_power_dbm)))
+        lambda_m = self.config.wavelength
+        num_antennas = self.array.num_elements
+        num_samples = waveform.size
+        received = np.zeros((num_antennas, num_samples), dtype=complex)
+
+        reference_delay = min(path.delay_s for path in paths)
+        for index, path in enumerate(paths):
+            local_azimuth = path.aoa_deg - self.orientation_deg
+            response = steering_vector(self.array.element_positions, local_azimuth, lambda_m)
+            carrier_phase = np.exp(-1j * path.carrier_phase_rad(lambda_m))
+            amplitude = tx_amplitude * path.amplitude
+            contribution = waveform
+            if self.config.apply_path_delays:
+                delay_samples = (path.delay_s - reference_delay) * self.config.sample_rate_hz
+                contribution = fractional_delay(contribution, delay_samples)
+            if self.config.path_phase_walk_std_rad > 0:
+                contribution = contribution * phase_random_walk(
+                    num_samples, self.config.path_phase_walk_std_rad, generator)
+            fading = 1.0 + 0.0j
+            if path_fading is not None:
+                fading = complex(path_fading[index])
+            received += np.outer(response, amplitude * carrier_phase * fading * contribution)
+        return received
+
+    def expected_local_bearing(self, global_bearing_deg: float) -> float:
+        """Map a global bearing to the bearing the array's estimator reports.
+
+        For unambiguous (planar) arrays this is simply the local azimuth in
+        [0, 360).  For linear arrays the estimator reports broadside angles in
+        [-90, 90] and cannot distinguish front from back, so the bearing is
+        folded accordingly (footnote 1 of the paper).
+        """
+        local = (float(global_bearing_deg) - self.orientation_deg) % 360.0
+        if not self.array.ambiguous:
+            return local
+        # Linear array along local x: broadside angle theta satisfies
+        # sin(theta) = cos(local azimuth); fold the back half-plane onto the front.
+        folded = local if local <= 180.0 else 360.0 - local
+        return 90.0 - folded
+
+
+def fractional_delay(waveform: np.ndarray, delay_samples: float) -> np.ndarray:
+    """Delay a waveform by a (possibly fractional) number of samples.
+
+    Uses an FFT-domain linear-phase filter, which is exact for band-limited
+    signals and avoids the amplitude ripple of naive interpolation.  Negative
+    delays advance the waveform.
+    """
+    waveform = np.asarray(waveform, dtype=complex)
+    if waveform.ndim != 1:
+        raise ValueError("waveform must be 1-D")
+    if abs(delay_samples) < 1e-12:
+        return waveform.copy()
+    n = waveform.size
+    spectrum = np.fft.fft(waveform)
+    frequencies = np.fft.fftfreq(n)
+    shifted = spectrum * np.exp(-2j * np.pi * frequencies * delay_samples)
+    return np.fft.ifft(shifted)
+
+
+def phase_random_walk(num_samples: int, step_std_rad: float,
+                      rng: RngLike = None) -> np.ndarray:
+    """Unit-magnitude random-walk phase process of length ``num_samples``.
+
+    Models per-path phase dynamics (residual CFO, scatterer micro-motion) over
+    the duration of one packet.  The walk starts from a uniformly random
+    initial phase so different paths are mutually incoherent.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if step_std_rad < 0:
+        raise ValueError("step_std_rad must be non-negative")
+    generator = ensure_rng(rng)
+    initial = generator.uniform(0.0, 2.0 * np.pi)
+    steps = generator.normal(0.0, step_std_rad, size=num_samples)
+    steps[0] = 0.0
+    phase = initial + np.cumsum(steps)
+    return np.exp(1j * phase)

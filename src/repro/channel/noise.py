@@ -1,0 +1,45 @@
+"""Additive white Gaussian noise helpers for complex baseband samples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
+    """Noise power needed to hit ``snr_db`` given ``signal_power`` (linear units)."""
+    if signal_power < 0:
+        raise ValueError(f"signal power must be non-negative, got {signal_power!r}")
+    return signal_power / (10.0 ** (snr_db / 10.0))
+
+
+def awgn(shape, noise_power: float, rng: RngLike = None) -> np.ndarray:
+    """Complex circularly-symmetric Gaussian noise with total power ``noise_power``.
+
+    The returned array has ``E[|n|^2] = noise_power`` per element, split evenly
+    between the real and imaginary parts.
+    """
+    if noise_power < 0:
+        raise ValueError(f"noise power must be non-negative, got {noise_power!r}")
+    generator = ensure_rng(rng)
+    if noise_power == 0:
+        return np.zeros(shape, dtype=complex)
+    sigma = np.sqrt(noise_power / 2.0)
+    real = generator.normal(0.0, sigma, size=shape)
+    imag = generator.normal(0.0, sigma, size=shape)
+    return real + 1j * imag
+
+
+def measure_snr_db(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """Empirical SNR (dB) between a clean ``signal`` and its ``noisy`` version."""
+    signal = np.asarray(signal)
+    noisy = np.asarray(noisy)
+    if signal.shape != noisy.shape:
+        raise ValueError("signal and noisy arrays must have the same shape")
+    noise = noisy - signal
+    signal_power = float(np.mean(np.abs(signal) ** 2))
+    noise_power = float(np.mean(np.abs(noise) ** 2))
+    if noise_power == 0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)

@@ -1,0 +1,169 @@
+"""Single-bounce image-method ray tracer.
+
+The ray tracer turns a floor plan (walls, obstacles) and a transmitter /
+access-point pair into an explicit list of :class:`PropagationPath` objects:
+
+* the direct path, attenuated by any walls or obstacles it penetrates (this is
+  how the cement pillar of Figure 4 degrades — without removing — the direct
+  path of blocked clients), and
+* one single-bounce specular reflection per wall or obstacle face for which a
+  valid reflection point exists, attenuated by path loss, the surface's
+  reflection loss, and any penetration losses along either leg.
+
+Single-bounce ray tracing is sufficient for the paper's purposes: MUSIC sees a
+superposition of plane waves, and the dominant multipath components indoors
+are the first-order reflections; higher-order bounces are both much weaker and
+qualitatively identical for the signature application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.channel.path import PathKind, PropagationPath
+from repro.channel.pathloss import free_space_path_loss_db
+from repro.constants import DEFAULT_CARRIER_FREQUENCY_HZ
+from repro.geometry.point import Point
+from repro.geometry.room import Obstacle, Room, Wall
+from repro.geometry.segment import Segment
+
+
+class RayTracer:
+    """Compute direct and single-bounce propagation paths within a room.
+
+    Parameters
+    ----------
+    room:
+        The floor plan to trace within.
+    frequency_hz:
+        Carrier frequency (sets the free-space path loss).
+    max_reflections:
+        Maximum number of reflected paths to return (strongest first).
+        ``None`` keeps every valid reflection.
+    min_gain_db:
+        Reflected paths weaker than this total gain are discarded; keeps the
+        path list focused on components MUSIC could actually resolve.
+    """
+
+    def __init__(self, room: Room,
+                 frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ,
+                 max_reflections: Optional[int] = None,
+                 min_gain_db: float = -120.0):
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {frequency_hz!r}")
+        self.room = room
+        self.frequency_hz = frequency_hz
+        self.max_reflections = max_reflections
+        self.min_gain_db = float(min_gain_db)
+
+    # ------------------------------------------------------------------ direct
+    def direct_path(self, transmitter: Point, receiver: Point) -> PropagationPath:
+        """The direct path, including through-wall/obstacle penetration loss."""
+        if transmitter.distance_to(receiver) < 1e-9:
+            raise ValueError("transmitter and receiver positions coincide")
+        segment = Segment(transmitter, receiver)
+        distance = segment.length
+        loss_db = free_space_path_loss_db(distance, self.frequency_hz)
+        loss_db += self.room.penetration_loss_db(segment)
+        return PropagationPath(
+            aoa_deg=receiver.bearing_to(transmitter),
+            length_m=distance,
+            gain_db=-loss_db,
+            kind=PathKind.DIRECT,
+            points=(transmitter, receiver),
+        )
+
+    # -------------------------------------------------------------- reflections
+    def reflected_paths(self, transmitter: Point, receiver: Point) -> List[PropagationPath]:
+        """All valid single-bounce reflections, strongest first."""
+        paths: List[PropagationPath] = []
+        for surface, reflection_loss_db, label in self._surfaces():
+            path = self._reflection_via(surface, reflection_loss_db, label,
+                                        transmitter, receiver)
+            if path is not None and path.gain_db >= self.min_gain_db:
+                paths.append(path)
+        paths.sort(key=lambda p: p.gain_db, reverse=True)
+        if self.max_reflections is not None:
+            paths = paths[: self.max_reflections]
+        return paths
+
+    def trace(self, transmitter: Point, receiver: Point) -> List[PropagationPath]:
+        """Direct path plus single-bounce reflections, direct path first."""
+        paths = [self.direct_path(transmitter, receiver)]
+        paths.extend(self.reflected_paths(transmitter, receiver))
+        return paths
+
+    # ---------------------------------------------------------------- internals
+    def _surfaces(self):
+        """Yield (segment, reflection_loss_db, label) for every reflective face."""
+        for index, wall in enumerate(self.room.walls):
+            label = wall.name or f"wall-{index}"
+            yield wall.segment, wall.reflection_loss_db, label
+        for obs_index, obstacle in enumerate(self.room.obstacles):
+            base = obstacle.name or f"obstacle-{obs_index}"
+            for face_index, face in enumerate(obstacle.faces()):
+                yield face, obstacle.reflection_loss_db, f"{base}-face-{face_index}"
+
+    def _reflection_via(self, surface: Segment, reflection_loss_db: float, label: str,
+                        transmitter: Point, receiver: Point) -> Optional[PropagationPath]:
+        bounce = surface.reflection_point(transmitter, receiver)
+        if bounce is None:
+            return None
+        # Degenerate reflections where the bounce point coincides with either
+        # endpoint are the endpoints lying on the surface; skip them.
+        if bounce.distance_to(transmitter) < 1e-6 or bounce.distance_to(receiver) < 1e-6:
+            return None
+        leg_in = Segment(transmitter, bounce)
+        leg_out = Segment(bounce, receiver)
+        total_length = leg_in.length + leg_out.length
+        loss_db = free_space_path_loss_db(total_length, self.frequency_hz)
+        loss_db += reflection_loss_db
+        loss_db += self._penetration_excluding(leg_in, surface)
+        loss_db += self._penetration_excluding(leg_out, surface)
+        return PropagationPath(
+            aoa_deg=receiver.bearing_to(bounce),
+            length_m=total_length,
+            gain_db=-loss_db,
+            kind=PathKind.REFLECTED,
+            reflector=label,
+            points=(transmitter, bounce, receiver),
+        )
+
+    def _penetration_excluding(self, leg: Segment, reflecting_surface: Segment) -> float:
+        """Penetration loss along ``leg``, ignoring the surface it reflects off.
+
+        The bounce point lies on the reflecting surface, so a naive blockage
+        test would charge that surface's penetration loss to its own
+        reflection; this helper excludes it.
+        """
+        total = 0.0
+        for wall in self.room.walls:
+            if wall.segment is reflecting_surface or _same_segment(wall.segment, reflecting_surface):
+                continue
+            if wall.segment.intersects(leg):
+                total += wall.penetration_loss_db
+        for obstacle in self.room.obstacles:
+            faces = obstacle.faces()
+            reflecting_own_face = any(_same_segment(face, reflecting_surface) for face in faces)
+            crossings = 0
+            for face in faces:
+                if _same_segment(face, reflecting_surface):
+                    continue
+                if face.intersects(leg):
+                    crossings += 1
+            if reflecting_own_face:
+                # Reflecting off the obstacle's own face: the leg touches the
+                # outline at the bounce point but does not pass through the body
+                # unless it crosses at least one *other* face.
+                if crossings >= 1:
+                    total += obstacle.penetration_loss_db
+            elif crossings >= 1:
+                total += obstacle.penetration_loss_db
+        return total
+
+
+def _same_segment(a: Segment, b: Segment, tolerance: float = 1e-9) -> bool:
+    """True when two segments share (possibly swapped) endpoints."""
+    forward = (a.start.distance_to(b.start) <= tolerance and a.end.distance_to(b.end) <= tolerance)
+    backward = (a.start.distance_to(b.end) <= tolerance and a.end.distance_to(b.start) <= tolerance)
+    return forward or backward

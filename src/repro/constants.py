@@ -1,0 +1,86 @@
+"""Physical and protocol constants used throughout the SecureAngle reproduction.
+
+The prototype in the paper operates in the 2.4 GHz ISM band with antennas
+spaced at half a wavelength (6.13 cm), which corresponds to a carrier of
+roughly 2.447 GHz (802.11 channel 8).  All defaults below follow the
+prototype described in Section 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Default carrier frequency (Hz).  802.11 channel 8 centre frequency; chosen
+#: so that half a wavelength is 6.13 cm, matching the element spacing quoted
+#: in Section 3 of the paper.
+DEFAULT_CARRIER_FREQUENCY_HZ = 2.447e9
+
+#: Default complex-baseband sampling rate (Hz).  The WARP prototype samples
+#: 20 MHz of bandwidth.
+DEFAULT_SAMPLE_RATE_HZ = 20e6
+
+#: Default capture buffer duration (seconds).  The prototype buffers 0.4 ms of
+#: samples before shipping them over Ethernet for processing.
+DEFAULT_CAPTURE_DURATION_S = 0.4e-3
+
+#: Number of antennas on the prototype access point (two WARP boards with four
+#: radio front ends each).
+DEFAULT_NUM_ANTENNAS = 8
+
+#: Side length (metres) of the octagonal antenna arrangement used for the
+#: circular configuration in the prototype.
+OCTAGON_SIDE_LENGTH_M = 0.047
+
+#: Attenuation (dB) inserted between the calibration source and the splitter
+#: feeding the radio front ends.
+CALIBRATION_ATTENUATION_DB = 36.0
+
+#: Number of OFDM subcarriers in an 802.11a/g 20 MHz channel.
+OFDM_FFT_SIZE = 64
+
+#: Number of data + pilot subcarriers actually occupied in 802.11a/g.
+OFDM_OCCUPIED_SUBCARRIERS = 52
+
+#: OFDM cyclic-prefix length in samples at 20 MHz.
+OFDM_CYCLIC_PREFIX = 16
+
+#: Boltzmann constant (J/K), used for thermal-noise floor computations.
+BOLTZMANN_CONSTANT = 1.380649e-23
+
+#: Reference temperature (K) for noise-figure calculations.
+REFERENCE_TEMPERATURE_K = 290.0
+
+
+def wavelength(frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ) -> float:
+    """Return the free-space wavelength in metres for ``frequency_hz``.
+
+    Raises
+    ------
+    ValueError
+        If ``frequency_hz`` is not strictly positive.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def half_wavelength(frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ) -> float:
+    """Return half a wavelength in metres for ``frequency_hz``."""
+    return wavelength(frequency_hz) / 2.0
+
+
+def thermal_noise_power_dbm(bandwidth_hz: float,
+                            temperature_k: float = REFERENCE_TEMPERATURE_K) -> float:
+    """Thermal noise power (dBm) in ``bandwidth_hz`` at ``temperature_k``.
+
+    The classic kTB floor: roughly -101 dBm in 20 MHz at room temperature.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz!r}")
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k!r}")
+    power_w = BOLTZMANN_CONSTANT * temperature_k * bandwidth_hz
+    return 10.0 * math.log10(power_w * 1e3)

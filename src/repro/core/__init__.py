@@ -1,0 +1,58 @@
+"""SecureAngle core: AoA signatures and the security applications built on them."""
+
+from repro.core.signature import AoASignature
+from repro.core.metrics import (
+    cosine_similarity,
+    peak_set_distance_deg,
+    signature_similarity,
+    spectral_correlation,
+)
+from repro.core.database import SignatureDatabase, SignatureRecord
+from repro.core.tracker import SignatureTracker, TrackerConfig
+from repro.core.spoofing import SpoofingDetector, SpoofingDetectorConfig, SpoofingVerdict
+from repro.core.localization import LocationEstimate, triangulate_bearings
+from repro.core.fence import VirtualFence, FenceDecision
+from repro.core.policy import PacketDecision, PacketVerdict
+from repro.core.access_point import AccessPointConfig, SecureAngleAP
+from repro.core.controller import SecureAngleController
+from repro.core.beamforming import (
+    beamforming_gain_db,
+    downlink_channel_vector,
+    eigen_weights,
+    steering_weights,
+)
+from repro.core.tracking import BearingTracker, MobilityTracker
+from repro.core.whitespace import WhitespaceYielder, YieldDecision, YieldPlan
+
+__all__ = [
+    "WhitespaceYielder",
+    "YieldDecision",
+    "YieldPlan",
+    "beamforming_gain_db",
+    "downlink_channel_vector",
+    "eigen_weights",
+    "steering_weights",
+    "BearingTracker",
+    "MobilityTracker",
+    "AoASignature",
+    "cosine_similarity",
+    "spectral_correlation",
+    "peak_set_distance_deg",
+    "signature_similarity",
+    "SignatureDatabase",
+    "SignatureRecord",
+    "SignatureTracker",
+    "TrackerConfig",
+    "SpoofingDetector",
+    "SpoofingDetectorConfig",
+    "SpoofingVerdict",
+    "LocationEstimate",
+    "triangulate_bearings",
+    "VirtualFence",
+    "FenceDecision",
+    "PacketDecision",
+    "PacketVerdict",
+    "AccessPointConfig",
+    "SecureAngleAP",
+    "SecureAngleController",
+]

@@ -1,0 +1,160 @@
+"""The SecureAngle access point.
+
+``SecureAngleAP`` ties the whole receive-side pipeline together, mirroring the
+prototype's data flow (Section 3): a capture arrives from the array receiver,
+the per-chain calibration is applied, the AoA estimator produces a
+pseudospectrum, the pseudospectrum becomes a signature, and the signature is
+checked against the per-MAC database to decide whether the frame is accepted,
+dropped, or flagged.  The AP also exposes its direct-path bearings so a
+multi-AP controller can run the virtual-fence application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aoa.estimator import AoAEstimate, AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import AntennaArray
+from repro.calibration.procedure import calibrate_receiver
+from repro.calibration.table import CalibrationTable
+from repro.core.database import SignatureDatabase
+from repro.core.localization import BearingObservation
+from repro.core.policy import PacketDecision, combine_evidence
+from repro.core.signature import AoASignature
+from repro.core.spoofing import SpoofingDetector, SpoofingDetectorConfig
+from repro.core.tracker import SignatureTracker, TrackerConfig
+from repro.geometry.point import Point
+from repro.hardware.capture import Capture
+from repro.hardware.receiver import ArrayReceiver
+from repro.hardware.reference import CalibrationSource
+from repro.mac.acl import AccessControlList
+from repro.mac.address import MacAddress
+from repro.mac.frames import Dot11Frame
+
+
+@dataclass(frozen=True)
+class AccessPointConfig:
+    """Configuration of one SecureAngle access point."""
+
+    estimator: EstimatorConfig = EstimatorConfig()
+    spoofing: SpoofingDetectorConfig = SpoofingDetectorConfig()
+    tracker: TrackerConfig = TrackerConfig()
+    #: Default bearing uncertainty (degrees) attached to localisation observations.
+    bearing_sigma_deg: float = 3.0
+    #: Number of packets averaged when training a certified signature.
+    training_packets: int = 10
+
+    def __post_init__(self) -> None:
+        if self.bearing_sigma_deg <= 0:
+            raise ValueError("bearing_sigma_deg must be positive")
+        if self.training_packets < 1:
+            raise ValueError("training_packets must be at least 1")
+
+
+class SecureAngleAP:
+    """One access point: array, receiver, calibration, estimator, and policy."""
+
+    def __init__(self, name: str, position: Point, array: AntennaArray,
+                 orientation_deg: float = 0.0,
+                 config: AccessPointConfig = AccessPointConfig(),
+                 acl: Optional[AccessControlList] = None):
+        self.name = name
+        self.position = position
+        self.array = array
+        self.orientation_deg = float(orientation_deg)
+        self.config = config
+        self.acl = acl if acl is not None else AccessControlList(default_allow=True)
+        self.estimator = AoAEstimator(array, config.estimator)
+        self.database = SignatureDatabase(keep_history=4)
+        self.detector = SpoofingDetector(self.database, config.spoofing)
+        self.tracker = SignatureTracker(self.database, config.tracker)
+        self.calibration: Optional[CalibrationTable] = None
+
+    # -------------------------------------------------------------- calibration
+    def calibrate(self, receiver: ArrayReceiver, source: CalibrationSource,
+                  num_samples: int = 4096) -> CalibrationTable:
+        """Run the Section 2.2 calibration procedure and store the table."""
+        self.calibration = calibrate_receiver(receiver, source, num_samples=num_samples)
+        return self.calibration
+
+    def set_calibration(self, table: CalibrationTable) -> None:
+        """Install an externally measured calibration table."""
+        if table.num_chains != self.array.num_elements:
+            raise ValueError("calibration table does not match the array size")
+        self.calibration = table
+
+    # ----------------------------------------------------------------- analysis
+    def analyze(self, capture: Capture) -> AoAEstimate:
+        """Run the AoA estimator on a capture (applying calibration if needed)."""
+        return self.estimator.process(capture, calibration=self.calibration)
+
+    def signature_from_capture(self, capture: Capture) -> AoASignature:
+        """Compute the AoA signature of a single capture."""
+        estimate = self.analyze(capture)
+        return AoASignature.from_pseudospectrum(
+            estimate.pseudospectrum, captured_at_s=capture.timestamp_s)
+
+    def train_client(self, address: MacAddress, captures) -> AoASignature:
+        """Train the certified signature for ``address`` from one or more captures."""
+        captures = list(captures)
+        if not captures:
+            raise ValueError("training requires at least one capture")
+        signature = self.signature_from_capture(captures[0])
+        for capture in captures[1:]:
+            observation = self.signature_from_capture(capture)
+            signature = signature.merged_with(observation, weight=1.0 / (signature.num_packets + 1))
+        self.database.train(address, signature, timestamp_s=captures[-1].timestamp_s)
+        return signature
+
+    # ------------------------------------------------------------------ packets
+    def process_packet(self, frame: Dot11Frame, capture: Capture,
+                       update_signature: bool = True) -> PacketDecision:
+        """Decide what to do with one received frame.
+
+        ``frame`` carries the claimed source address; ``capture`` carries the
+        raw samples of the same packet.  The signature check runs against the
+        certified signature for the claimed address; matching packets also
+        update the stored signature (tracking), unless disabled.
+        """
+        estimate = self.analyze(capture)
+        observation = AoASignature.from_pseudospectrum(
+            estimate.pseudospectrum, captured_at_s=capture.timestamp_s)
+        acl_permits = self.acl.permits(frame.source)
+        check = self.detector.check(frame.source, observation)
+        if update_signature and check.verdict.value == "match":
+            self.tracker.observe(frame.source, observation, capture.timestamp_s)
+        return combine_evidence(
+            source=frame.source,
+            acl_permits=acl_permits,
+            spoofing_verdict=check.verdict,
+            fence_decision=None,
+            similarity=check.similarity,
+            bearing_deg=observation.direct_path_bearing_deg,
+        )
+
+    # ------------------------------------------------------------- localisation
+    def bearing_observation(self, capture: Capture,
+                            sigma_deg: Optional[float] = None) -> BearingObservation:
+        """The AP's contribution to multi-AP localisation: a global bearing.
+
+        The estimator reports bearings in the array's local frame; adding the
+        AP's mounting orientation converts them to the global floor-plan frame
+        the controller triangulates in.  Only meaningful for unambiguous
+        (circular) arrays — a linear array cannot provide a full 360-degree
+        bearing (footnote 1 of the paper).
+        """
+        if self.array.ambiguous:
+            raise ValueError(
+                "virtual-fence localisation requires an unambiguous (circular) array")
+        estimate = self.analyze(capture)
+        global_bearing = (estimate.bearing_deg + self.orientation_deg) % 360.0
+        return BearingObservation(
+            ap_position=self.position,
+            bearing_deg=global_bearing,
+            sigma_deg=self.config.bearing_sigma_deg if sigma_deg is None else sigma_deg,
+        )
+
+    def __repr__(self) -> str:
+        return (f"SecureAngleAP({self.name!r}, at ({self.position.x:.1f}, {self.position.y:.1f}), "
+                f"{self.array.num_elements} antennas)")

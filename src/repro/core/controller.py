@@ -1,0 +1,103 @@
+"""The multi-AP SecureAngle controller.
+
+The virtual-fence application needs bearings from "more than two access
+points ... computing this bearing information" (Section 2.3.1).  The
+controller owns the set of APs and the building boundary, collects each AP's
+direct-path bearing for a packet, triangulates the client, evaluates the
+fence, and merges the result with the primary AP's spoofing verdict into a
+final packet decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.access_point import SecureAngleAP
+from repro.core.fence import FenceCheck, VirtualFence
+from repro.core.localization import BearingObservation, LocationEstimate, triangulate_bearings
+from repro.core.policy import PacketDecision, combine_evidence
+from repro.core.signature import AoASignature
+from repro.hardware.capture import Capture
+from repro.mac.frames import Dot11Frame
+
+
+class SecureAngleController:
+    """Coordinate several SecureAngle APs for localisation and fencing."""
+
+    def __init__(self, aps: List[SecureAngleAP], fence: Optional[VirtualFence] = None):
+        if not aps:
+            raise ValueError("the controller needs at least one access point")
+        names = [ap.name for ap in aps]
+        if len(set(names)) != len(names):
+            raise ValueError("access points must have unique names")
+        self.aps: Dict[str, SecureAngleAP] = {ap.name: ap for ap in aps}
+        self.fence = fence
+
+    # ------------------------------------------------------------ localisation
+    def collect_bearings(self, captures: Mapping[str, Capture]) -> List[BearingObservation]:
+        """One bearing observation per AP that has a capture of the packet."""
+        observations: List[BearingObservation] = []
+        for name, capture in captures.items():
+            ap = self.aps.get(name)
+            if ap is None:
+                raise KeyError(f"unknown access point {name!r}")
+            observations.append(ap.bearing_observation(capture))
+        return observations
+
+    def localize(self, captures: Mapping[str, Capture]) -> LocationEstimate:
+        """Triangulate a client from per-AP captures of the same packet."""
+        observations = self.collect_bearings(captures)
+        return triangulate_bearings(observations)
+
+    def fence_check(self, captures: Mapping[str, Capture]) -> FenceCheck:
+        """Evaluate the virtual fence for a packet captured by several APs."""
+        if self.fence is None:
+            raise ValueError("no virtual fence configured on this controller")
+        observations = self.collect_bearings(captures)
+        return self.fence.check_bearings(observations)
+
+    # ---------------------------------------------------------------- decisions
+    def process_packet(self, frame: Dot11Frame, captures: Mapping[str, Capture],
+                       primary_ap: Optional[str] = None) -> PacketDecision:
+        """Full multi-AP decision for one packet.
+
+        ``captures`` maps AP name to that AP's capture of the packet.  The
+        ``primary_ap`` (default: the first AP with a capture) runs the
+        ACL and spoofing checks; the fence uses every capture.
+        """
+        if not captures:
+            raise ValueError("at least one capture is required")
+        if primary_ap is None:
+            primary_ap = next(iter(captures))
+        ap = self.aps.get(primary_ap)
+        if ap is None:
+            raise KeyError(f"unknown access point {primary_ap!r}")
+        if primary_ap not in captures:
+            raise ValueError(f"no capture supplied for primary AP {primary_ap!r}")
+
+        estimate = ap.analyze(captures[primary_ap])
+        observation = AoASignature.from_pseudospectrum(
+            estimate.pseudospectrum, captured_at_s=captures[primary_ap].timestamp_s)
+        check = ap.detector.check(frame.source, observation)
+        if check.verdict.value == "match":
+            ap.tracker.observe(frame.source, observation, captures[primary_ap].timestamp_s)
+
+        fence_decision = None
+        fail_open = False
+        if self.fence is not None and len(captures) >= 2:
+            fence_result = self.fence_check(captures)
+            fence_decision = fence_result.decision
+            fail_open = self.fence.fail_open
+
+        return combine_evidence(
+            source=frame.source,
+            acl_permits=ap.acl.permits(frame.source),
+            spoofing_verdict=check.verdict,
+            fence_decision=fence_decision,
+            fence_fail_open=fail_open,
+            similarity=check.similarity,
+            bearing_deg=observation.direct_path_bearing_deg,
+        )
+
+    def __len__(self) -> int:
+        return len(self.aps)

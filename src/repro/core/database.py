@@ -1,0 +1,104 @@
+"""The per-MAC signature database.
+
+"SecureAngle records a legitimate client's signature S_cl during the initial
+training stage and associates this signature with the MAC address"
+(Section 2.3.2).  The database holds those associations, together with
+bookkeeping the tracker and detector need: when the signature was last
+updated, how many packets have contributed to it, and how many anomalies have
+been flagged against the address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.signature import AoASignature
+from repro.mac.address import MacAddress
+
+
+@dataclass
+class SignatureRecord:
+    """Everything the access point remembers about one MAC address."""
+
+    address: MacAddress
+    signature: AoASignature
+    trained_at_s: float = 0.0
+    updated_at_s: float = 0.0
+    packets_seen: int = 0
+    anomalies_flagged: int = 0
+    history: List[AoASignature] = field(default_factory=list)
+
+    def record_update(self, signature: AoASignature, timestamp_s: float,
+                      keep_history: int = 0) -> None:
+        """Replace the stored signature and update bookkeeping."""
+        if keep_history > 0:
+            self.history.append(self.signature)
+            if len(self.history) > keep_history:
+                self.history = self.history[-keep_history:]
+        self.signature = signature
+        self.updated_at_s = float(timestamp_s)
+        self.packets_seen += 1
+
+    def record_anomaly(self) -> None:
+        """Count one flagged (suspected spoofed) packet against this address."""
+        self.anomalies_flagged += 1
+        self.packets_seen += 1
+
+
+class SignatureDatabase:
+    """MAC address → signature record store."""
+
+    def __init__(self, keep_history: int = 0):
+        if keep_history < 0:
+            raise ValueError("keep_history must be non-negative")
+        self._records: Dict[MacAddress, SignatureRecord] = {}
+        self.keep_history = int(keep_history)
+
+    # ------------------------------------------------------------------ access
+    def train(self, address: MacAddress, signature: AoASignature,
+              timestamp_s: float = 0.0) -> SignatureRecord:
+        """Register (or re-register) the certified signature for ``address``."""
+        record = SignatureRecord(
+            address=address, signature=signature,
+            trained_at_s=float(timestamp_s), updated_at_s=float(timestamp_s),
+            packets_seen=1,
+        )
+        self._records[address] = record
+        return record
+
+    def lookup(self, address: MacAddress) -> Optional[SignatureRecord]:
+        """Return the record for ``address``, or ``None`` if never trained."""
+        return self._records.get(address)
+
+    def require(self, address: MacAddress) -> SignatureRecord:
+        """Return the record for ``address`` or raise ``KeyError``."""
+        record = self._records.get(address)
+        if record is None:
+            raise KeyError(f"no signature trained for {address}")
+        return record
+
+    def forget(self, address: MacAddress) -> bool:
+        """Remove ``address`` from the database; returns whether it existed."""
+        return self._records.pop(address, None) is not None
+
+    def update(self, address: MacAddress, signature: AoASignature,
+               timestamp_s: float) -> SignatureRecord:
+        """Store an updated signature for an already-trained address."""
+        record = self.require(address)
+        record.record_update(signature, timestamp_s, keep_history=self.keep_history)
+        return record
+
+    # --------------------------------------------------------------- iteration
+    def addresses(self) -> List[MacAddress]:
+        """All trained MAC addresses."""
+        return list(self._records.keys())
+
+    def __contains__(self, address: MacAddress) -> bool:
+        return address in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SignatureRecord]:
+        return iter(self._records.values())

@@ -1,0 +1,110 @@
+"""Virtual fences.
+
+"We investigate restriction of use to the building or room containing the
+access point ... With direct path AoA information obtained from multiple
+SecureAngle APs, high-precision indoor location can be determined to enable
+this service." (Sections 1 and 2.3.1.)
+
+``VirtualFence`` combines the triangulated client location with a boundary
+polygon (the building or office outline) and produces an accept/drop decision.
+A configurable margin treats clients within a small band outside the boundary
+as inside (bearing errors of a few degrees translate to position errors of a
+metre or so at office scales); an inconsistent triangulation (large residual)
+can be configured to fail open or closed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.localization import BearingObservation, LocationEstimate, triangulate_bearings
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class FenceDecision(enum.Enum):
+    """Outcome of a virtual-fence check."""
+
+    #: Client localised inside the boundary: frames are accepted.
+    INSIDE = "inside"
+    #: Client localised outside the boundary: frames are dropped.
+    OUTSIDE = "outside"
+    #: Bearings were inconsistent or insufficient to localise the client.
+    INDETERMINATE = "indeterminate"
+
+
+@dataclass(frozen=True)
+class FenceCheck:
+    """Detailed outcome of one fence evaluation."""
+
+    decision: FenceDecision
+    location: Optional[LocationEstimate] = None
+
+    @property
+    def accepted(self) -> bool:
+        """True when the client's frames should be accepted."""
+        return self.decision is FenceDecision.INSIDE
+
+
+class VirtualFence:
+    """Drop frames from clients localised outside a geographic boundary.
+
+    Parameters
+    ----------
+    boundary:
+        The building/office outline.
+    margin_m:
+        Extra slack: a client localised within ``margin_m`` outside the
+        boundary still counts as inside (absorbs bearing-estimation error).
+    max_residual_m:
+        Triangulations with an RMS line-to-point residual above this are
+        considered unreliable and yield ``INDETERMINATE``.
+    fail_open:
+        What to do with indeterminate localisations at the policy level:
+        ``True`` treats them as inside (availability over security), ``False``
+        as outside.  The decision itself is still reported as indeterminate.
+    """
+
+    def __init__(self, boundary: Polygon, margin_m: float = 1.0,
+                 max_residual_m: float = 2.5, fail_open: bool = False):
+        if margin_m < 0:
+            raise ValueError("margin_m must be non-negative")
+        if max_residual_m <= 0:
+            raise ValueError("max_residual_m must be positive")
+        self.boundary = boundary
+        self.margin_m = float(margin_m)
+        self.max_residual_m = float(max_residual_m)
+        self.fail_open = bool(fail_open)
+        self._expanded = boundary.expanded(margin_m) if margin_m > 0 else boundary
+
+    # ------------------------------------------------------------------ checks
+    def check_location(self, location: LocationEstimate) -> FenceCheck:
+        """Evaluate a pre-computed location estimate against the boundary."""
+        if location.residual_m > self.max_residual_m:
+            return FenceCheck(FenceDecision.INDETERMINATE, location)
+        inside = self._expanded.contains(location.position)
+        return FenceCheck(FenceDecision.INSIDE if inside else FenceDecision.OUTSIDE, location)
+
+    def check_bearings(self, observations: Sequence[BearingObservation]) -> FenceCheck:
+        """Triangulate ``observations`` and evaluate the result."""
+        try:
+            location = triangulate_bearings(observations)
+        except ValueError:
+            return FenceCheck(FenceDecision.INDETERMINATE, None)
+        return self.check_location(location)
+
+    def check_point(self, point: Point) -> FenceCheck:
+        """Evaluate a known position (useful for ground-truth comparisons)."""
+        inside = self._expanded.contains(point)
+        location = LocationEstimate(position=point, residual_m=0.0, num_bearings=0)
+        return FenceCheck(FenceDecision.INSIDE if inside else FenceDecision.OUTSIDE, location)
+
+    def admits(self, check: FenceCheck) -> bool:
+        """Final accept/drop policy, applying the fail-open/closed rule."""
+        if check.decision is FenceDecision.INSIDE:
+            return True
+        if check.decision is FenceDecision.OUTSIDE:
+            return False
+        return self.fail_open

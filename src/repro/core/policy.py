@@ -1,0 +1,101 @@
+"""Packet-level policy decisions.
+
+The access point combines several sources of evidence about each packet — the
+existing address-based ACL, the spoofing detector's verdict, and (when a
+controller with multiple APs is available) the virtual fence — into one
+decision: accept the frame, drop it, or accept-but-flag it for the network's
+anomaly-detection systems (the paper positions SecureAngle as an aid to such
+systems, citing [9, 1]).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.fence import FenceDecision
+from repro.core.spoofing import SpoofingVerdict
+from repro.mac.address import MacAddress
+
+
+class PacketVerdict(enum.Enum):
+    """Final disposition of a received frame."""
+
+    ACCEPT = "accept"
+    DROP = "drop"
+    FLAG = "flag"
+
+
+@dataclass(frozen=True)
+class PacketDecision:
+    """The decision for one frame, with the evidence that produced it."""
+
+    verdict: PacketVerdict
+    source: MacAddress
+    reasons: List[str] = field(default_factory=list)
+    spoofing_verdict: Optional[SpoofingVerdict] = None
+    fence_decision: Optional[FenceDecision] = None
+    similarity: Optional[float] = None
+    bearing_deg: Optional[float] = None
+
+    @property
+    def accepted(self) -> bool:
+        """True when the frame is delivered to the network."""
+        return self.verdict is PacketVerdict.ACCEPT
+
+    @property
+    def dropped(self) -> bool:
+        """True when the frame is discarded."""
+        return self.verdict is PacketVerdict.DROP
+
+
+def combine_evidence(source: MacAddress,
+                     acl_permits: bool,
+                     spoofing_verdict: Optional[SpoofingVerdict],
+                     fence_decision: Optional[FenceDecision],
+                     fence_fail_open: bool = False,
+                     similarity: Optional[float] = None,
+                     bearing_deg: Optional[float] = None) -> PacketDecision:
+    """Combine ACL, spoofing, and fence evidence into a packet decision.
+
+    Precedence: an ACL denial drops the frame outright; a spoofing verdict of
+    ``SPOOFED`` drops it; a fence decision of ``OUTSIDE`` drops it; an
+    indeterminate fence follows the fail-open/closed rule but flags the frame;
+    an unknown address (no certified signature yet) is accepted but flagged so
+    the operator can trigger training.
+    """
+    reasons: List[str] = []
+    verdict = PacketVerdict.ACCEPT
+
+    if not acl_permits:
+        verdict = PacketVerdict.DROP
+        reasons.append("denied by address-based ACL")
+    if spoofing_verdict is SpoofingVerdict.SPOOFED:
+        verdict = PacketVerdict.DROP
+        reasons.append("AoA signature does not match the certified signature")
+    elif spoofing_verdict is SpoofingVerdict.UNKNOWN_ADDRESS and verdict is PacketVerdict.ACCEPT:
+        verdict = PacketVerdict.FLAG
+        reasons.append("no certified signature for this address (training needed)")
+    if fence_decision is FenceDecision.OUTSIDE:
+        verdict = PacketVerdict.DROP
+        reasons.append("client localised outside the virtual fence")
+    elif fence_decision is FenceDecision.INDETERMINATE and verdict is not PacketVerdict.DROP:
+        if not fence_fail_open:
+            verdict = PacketVerdict.DROP
+            reasons.append("client location indeterminate (fail-closed fence)")
+        else:
+            if verdict is PacketVerdict.ACCEPT:
+                verdict = PacketVerdict.FLAG
+            reasons.append("client location indeterminate (fail-open fence)")
+    if not reasons:
+        reasons.append("all checks passed")
+    return PacketDecision(
+        verdict=verdict,
+        source=source,
+        reasons=reasons,
+        spoofing_verdict=spoofing_verdict,
+        fence_decision=fence_decision,
+        similarity=similarity,
+        bearing_deg=bearing_deg,
+    )

@@ -1,0 +1,160 @@
+"""Client mobility tracking (Section 5, future work).
+
+"We also plan to test our applications with client mobility and track the
+mobility trace with multiple APs."  This module implements that extension on
+top of the existing pipeline:
+
+* ``BearingTracker`` — a single AP smooths the per-packet bearing estimates of
+  a moving client with a constant-velocity alpha–beta filter on the angle
+  (handling the 0/360 wrap), giving a bearing track robust to the occasional
+  reflection-locked outlier.
+* ``MobilityTracker`` — several APs' bearing tracks are triangulated per
+  packet, producing the client's position trace across the floor plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.localization import BearingObservation, LocationEstimate, triangulate_bearings
+from repro.geometry.point import Point
+from repro.utils.angles import normalize_angle_deg, signed_angular_difference
+from repro.utils.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class BearingTrackPoint:
+    """One smoothed bearing sample."""
+
+    timestamp_s: float
+    raw_bearing_deg: float
+    smoothed_bearing_deg: float
+    angular_rate_deg_s: float
+    rejected: bool = False
+
+
+class BearingTracker:
+    """Alpha–beta filter on a client's bearing as seen from one AP.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Standard alpha–beta gains: ``alpha`` weights the position (bearing)
+        correction, ``beta`` the rate correction.
+    outlier_threshold_deg:
+        Innovations larger than this are treated as outliers (for example a
+        packet whose pseudospectrum peak locked onto a reflection): the filter
+        coasts on its prediction instead of jumping.
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.1,
+                 outlier_threshold_deg: float = 30.0):
+        self.alpha = require_in_range(alpha, "alpha", 0.0, 1.0, inclusive=False)
+        self.beta = require_in_range(beta, "beta", 0.0, 1.0, inclusive=False)
+        self.outlier_threshold_deg = require_positive(outlier_threshold_deg,
+                                                      "outlier_threshold_deg")
+        self._bearing_deg: Optional[float] = None
+        self._rate_deg_s: float = 0.0
+        self._last_time_s: Optional[float] = None
+        self.track: List[BearingTrackPoint] = []
+
+    @property
+    def bearing_deg(self) -> Optional[float]:
+        """Current smoothed bearing, or ``None`` before the first update."""
+        return self._bearing_deg
+
+    def update(self, bearing_deg: float, timestamp_s: float) -> BearingTrackPoint:
+        """Fold one per-packet bearing estimate into the track."""
+        bearing_deg = float(normalize_angle_deg(bearing_deg))
+        if self._bearing_deg is None or self._last_time_s is None:
+            self._bearing_deg = bearing_deg
+            self._last_time_s = float(timestamp_s)
+            point = BearingTrackPoint(timestamp_s, bearing_deg, bearing_deg, 0.0)
+            self.track.append(point)
+            return point
+        dt = float(timestamp_s) - self._last_time_s
+        if dt < 0:
+            raise ValueError("timestamps must be non-decreasing")
+        predicted = float(normalize_angle_deg(self._bearing_deg + self._rate_deg_s * dt))
+        innovation = float(signed_angular_difference(bearing_deg, predicted))
+        rejected = abs(innovation) > self.outlier_threshold_deg
+        if rejected:
+            smoothed = predicted
+        else:
+            smoothed = float(normalize_angle_deg(predicted + self.alpha * innovation))
+            if dt > 0:
+                self._rate_deg_s += self.beta * innovation / dt
+        self._bearing_deg = smoothed
+        self._last_time_s = float(timestamp_s)
+        point = BearingTrackPoint(
+            timestamp_s=float(timestamp_s),
+            raw_bearing_deg=bearing_deg,
+            smoothed_bearing_deg=smoothed,
+            angular_rate_deg_s=self._rate_deg_s,
+            rejected=rejected,
+        )
+        self.track.append(point)
+        return point
+
+
+@dataclass(frozen=True)
+class PositionTrackPoint:
+    """One triangulated position sample of the mobility trace."""
+
+    timestamp_s: float
+    location: LocationEstimate
+
+
+class MobilityTracker:
+    """Track a moving client's position from several APs' bearing trackers."""
+
+    def __init__(self, ap_positions: Dict[str, Point],
+                 alpha: float = 0.5, beta: float = 0.1,
+                 outlier_threshold_deg: float = 30.0):
+        if len(ap_positions) < 2:
+            raise ValueError("mobility tracking needs at least two access points")
+        self.ap_positions = dict(ap_positions)
+        self.trackers: Dict[str, BearingTracker] = {
+            name: BearingTracker(alpha=alpha, beta=beta,
+                                 outlier_threshold_deg=outlier_threshold_deg)
+            for name in ap_positions
+        }
+        self.trace: List[PositionTrackPoint] = []
+
+    def update(self, bearings_deg: Dict[str, float], timestamp_s: float
+               ) -> PositionTrackPoint:
+        """Fold one packet's per-AP bearings into the trace.
+
+        ``bearings_deg`` maps AP name to that AP's *global-frame* direct-path
+        bearing for the packet (what ``SecureAngleAP.bearing_observation``
+        reports).
+        """
+        missing = set(bearings_deg) - set(self.trackers)
+        if missing:
+            raise KeyError(f"unknown access points: {sorted(missing)}")
+        if len(bearings_deg) < 2:
+            raise ValueError("at least two APs must observe each packet")
+        observations = []
+        for name, bearing in bearings_deg.items():
+            smoothed = self.trackers[name].update(bearing, timestamp_s)
+            observations.append(BearingObservation(
+                ap_position=self.ap_positions[name],
+                bearing_deg=smoothed.smoothed_bearing_deg,
+            ))
+        location = triangulate_bearings(observations)
+        point = PositionTrackPoint(timestamp_s=float(timestamp_s), location=location)
+        self.trace.append(point)
+        return point
+
+    def positions(self) -> List[Point]:
+        """The triangulated positions of the trace, in time order."""
+        return [point.location.position for point in self.trace]
+
+    def track_error_m(self, true_positions: Sequence[Point]) -> List[float]:
+        """Per-sample position error against a ground-truth trajectory."""
+        true_positions = list(true_positions)
+        if len(true_positions) != len(self.trace):
+            raise ValueError("ground-truth trajectory length does not match the trace")
+        return [point.location.position.distance_to(truth)
+                for point, truth in zip(self.trace, true_positions)]

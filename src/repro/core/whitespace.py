@@ -1,0 +1,151 @@
+"""Whitespace-radio yielding using AoA information (Section 1).
+
+The introduction lists a third use of SecureAngle signatures: helping
+"whitespace radios in yielding to incumbent transmitters".  A whitespace
+device must stop (or steer away from) transmissions that would interfere with
+a licensed incumbent; knowing the *direction* the incumbent's signal arrives
+from lets the device do better than a binary on/off decision:
+
+* if the incumbent is strong, cease transmission entirely;
+* if it is detectable but weak, keep transmitting but place a spatial null in
+  the incumbent's direction (the array is already there for MIMO);
+* otherwise transmit normally.
+
+``WhitespaceYielder`` implements that policy on top of the existing AoA
+pipeline: feed it the pseudospectrum estimate and received power of a sensing
+capture and it returns the decision plus, when nulling, the transmit weights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.aoa.estimator import AoAEstimate
+from repro.arrays.geometry import AntennaArray
+from repro.core.beamforming import steering_weights
+from repro.utils.validation import require_positive
+
+
+class YieldDecision(enum.Enum):
+    """What the whitespace device should do after sensing."""
+
+    #: No incumbent detected: transmit normally.
+    TRANSMIT = "transmit"
+    #: Incumbent detected but weak: transmit with a null towards it.
+    NULL_AND_TRANSMIT = "null-and-transmit"
+    #: Incumbent strong: cease transmission.
+    YIELD = "yield"
+
+
+@dataclass(frozen=True)
+class YieldPlan:
+    """The decision plus the transmit weights implementing it."""
+
+    decision: YieldDecision
+    incumbent_bearing_deg: Optional[float]
+    incumbent_power_dbm: Optional[float]
+    #: Unit-norm transmit weights; ``None`` when the device must stay silent.
+    transmit_weights: Optional[np.ndarray]
+    #: Suppression (dB) the weights achieve towards the incumbent, relative to
+    #: an omnidirectional (single-antenna) transmission.  ``None`` when not
+    #: transmitting or no incumbent was detected.
+    null_depth_db: Optional[float] = None
+
+
+class WhitespaceYielder:
+    """Decide whether (and how) to transmit around a sensed incumbent."""
+
+    def __init__(self, array: AntennaArray,
+                 detection_threshold_dbm: float = -85.0,
+                 yield_threshold_dbm: float = -65.0):
+        if yield_threshold_dbm <= detection_threshold_dbm:
+            raise ValueError(
+                "yield_threshold_dbm must be above detection_threshold_dbm")
+        self.array = array
+        self.detection_threshold_dbm = float(detection_threshold_dbm)
+        self.yield_threshold_dbm = float(yield_threshold_dbm)
+
+    # ------------------------------------------------------------------ policy
+    def plan(self, incumbent_power_dbm: Optional[float],
+             estimate: Optional[AoAEstimate],
+             intended_bearing_deg: float) -> YieldPlan:
+        """Build the transmission plan for one sensing interval.
+
+        Parameters
+        ----------
+        incumbent_power_dbm:
+            Received power of the sensing capture (``None`` when nothing was
+            received at all).
+        estimate:
+            The AoA estimate of the sensing capture (``None`` when nothing was
+            detected); its strongest peak is taken as the incumbent direction.
+        intended_bearing_deg:
+            Direction of the whitespace device's own client, towards which it
+            wants to transmit.
+        """
+        if incumbent_power_dbm is None or estimate is None or \
+                incumbent_power_dbm < self.detection_threshold_dbm:
+            weights = steering_weights(self.array, intended_bearing_deg)
+            return YieldPlan(decision=YieldDecision.TRANSMIT,
+                             incumbent_bearing_deg=None,
+                             incumbent_power_dbm=incumbent_power_dbm,
+                             transmit_weights=weights)
+        incumbent_bearing = float(estimate.bearing_deg)
+        if incumbent_power_dbm >= self.yield_threshold_dbm:
+            return YieldPlan(decision=YieldDecision.YIELD,
+                             incumbent_bearing_deg=incumbent_bearing,
+                             incumbent_power_dbm=float(incumbent_power_dbm),
+                             transmit_weights=None)
+        weights = self.nulling_weights(intended_bearing_deg, incumbent_bearing)
+        depth = self.null_depth_db(weights, incumbent_bearing)
+        return YieldPlan(decision=YieldDecision.NULL_AND_TRANSMIT,
+                         incumbent_bearing_deg=incumbent_bearing,
+                         incumbent_power_dbm=float(incumbent_power_dbm),
+                         transmit_weights=weights,
+                         null_depth_db=depth)
+
+    # ----------------------------------------------------------------- weights
+    def nulling_weights(self, intended_bearing_deg: float,
+                        incumbent_bearing_deg: float) -> np.ndarray:
+        """Steer at the intended client while nulling the incumbent direction.
+
+        The conjugate-steering weights towards the client are projected onto
+        the subspace of weight vectors that radiate nothing towards the
+        incumbent (``w . a(incumbent) = 0``) — a single-constraint
+        zero-forcing beamformer.
+        """
+        desired = steering_weights(self.array, intended_bearing_deg)
+        # The far field radiated towards a bearing is w . a(bearing), so the
+        # null constraint is orthogonality to conj(a), not to a itself.
+        incumbent = np.conj(self.array.steering_vector(incumbent_bearing_deg))
+        incumbent = incumbent / np.linalg.norm(incumbent)
+        projection = desired - incumbent * np.vdot(incumbent, desired)
+        norm = np.linalg.norm(projection)
+        if norm < 1e-12:
+            # The client and the incumbent are in (nearly) the same direction:
+            # nulling one nulls the other, so the only safe plan is to yield.
+            raise ValueError(
+                "intended and incumbent bearings are indistinguishable; yield instead")
+        return projection / norm
+
+    def null_depth_db(self, weights: np.ndarray, incumbent_bearing_deg: float) -> float:
+        """Radiated power towards the incumbent, in dB relative to omnidirectional."""
+        weights = np.asarray(weights, dtype=complex).ravel()
+        if weights.shape != (self.array.num_elements,):
+            raise ValueError("weights do not match the array size")
+        require_positive(float(np.linalg.norm(weights)), "weight norm")
+        response = self.array.steering_vector(incumbent_bearing_deg)
+        # Far-field amplitude towards the bearing: the weights summed with the
+        # propagation phases of that direction.
+        radiated = float(np.abs(np.sum(weights * response)) ** 2)
+        # An omnidirectional (single-antenna, unit-power) reference radiates
+        # unit power towards every direction.
+        return float(10.0 * np.log10(max(radiated, 1e-30) / 1.0))
+
+    def gain_towards(self, weights: np.ndarray, bearing_deg: float) -> float:
+        """Radiated power towards ``bearing_deg`` in dB relative to omnidirectional."""
+        return self.null_depth_db(weights, bearing_deg)

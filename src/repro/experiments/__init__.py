@@ -1,0 +1,42 @@
+"""Experiment runners that regenerate the paper's figures and claims."""
+
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.accuracy import AccuracyClaim, evaluate_accuracy_claim
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.fence_eval import FenceEvaluation, run_fence_evaluation
+from repro.experiments.spoofing_eval import SpoofingEvaluation, run_spoofing_evaluation
+from repro.experiments.ablations import (
+    run_calibration_ablation,
+    run_estimator_comparison,
+    run_packets_per_signature_sweep,
+    run_snr_sweep,
+)
+from repro.experiments.roc import SpoofingRoc, run_spoofing_roc
+from repro.experiments.mobility import MobilityResult, run_mobility_tracking
+from repro.experiments.beamforming_eval import BeamformingResult, run_beamforming_evaluation
+
+__all__ = [
+    "SpoofingRoc",
+    "run_spoofing_roc",
+    "MobilityResult",
+    "run_mobility_tracking",
+    "BeamformingResult",
+    "run_beamforming_evaluation",
+    "Figure5Result",
+    "run_figure5",
+    "AccuracyClaim",
+    "evaluate_accuracy_claim",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Result",
+    "run_figure7",
+    "FenceEvaluation",
+    "run_fence_evaluation",
+    "SpoofingEvaluation",
+    "run_spoofing_evaluation",
+    "run_calibration_ablation",
+    "run_estimator_comparison",
+    "run_snr_sweep",
+    "run_packets_per_signature_sweep",
+]

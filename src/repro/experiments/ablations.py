@@ -1,0 +1,232 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Calibration on/off** (Section 2.2): without removing the per-chain phase
+  offsets the inter-antenna phase comparison is meaningless and bearings are
+  essentially random.
+* **Estimator comparison** (Section 2.1 and Equation 1): the two-antenna phase
+  method versus the Bartlett and Capon beamformers versus MUSIC.
+* **SNR sweep**: bearing error as the transmit power (and hence SNR) drops.
+* **Packets-per-signature sweep**: how much averaging multiple packets into a
+  signature buys for spoofing discrimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.aoa.phase_interferometry import two_antenna_bearing
+from repro.arrays.geometry import OctagonalArray, UniformLinearArray
+from repro.core.metrics import signature_similarity
+from repro.core.signature import AoASignature
+from repro.experiments.reporting import format_table
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
+from repro.utils.angles import angular_difference
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+# --------------------------------------------------------------------------- E7
+@dataclass(frozen=True)
+class CalibrationAblation:
+    """Median bearing error with and without phase calibration."""
+
+    median_error_calibrated_deg: float
+    median_error_uncalibrated_deg: float
+
+    def as_table(self) -> str:
+        return format_table(
+            ["pipeline", "median bearing error (deg)"],
+            [("calibrated", self.median_error_calibrated_deg),
+             ("uncalibrated", self.median_error_uncalibrated_deg)],
+        )
+
+
+def run_calibration_ablation(client_ids: Sequence[int] = (1, 3, 5, 7, 9),
+                             packets_per_client: int = 3,
+                             rng: RngLike = 42) -> CalibrationAblation:
+    """Measure bearing error with the calibration step enabled and disabled."""
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
+    calibration = simulator.calibration_table()
+    calibrated_estimator = AoAEstimator(array, EstimatorConfig())
+    uncalibrated_estimator = AoAEstimator(array, EstimatorConfig(require_calibrated=False))
+
+    calibrated_errors: List[float] = []
+    uncalibrated_errors: List[float] = []
+    for client_id in client_ids:
+        expected = simulator.expected_client_bearing(client_id)
+        for index in range(packets_per_client):
+            capture = simulator.capture_from_client(client_id, elapsed_s=index * 0.5)
+            with_cal = calibrated_estimator.process(capture, calibration=calibration)
+            without_cal = uncalibrated_estimator.process(capture)
+            calibrated_errors.append(float(angular_difference(with_cal.bearing_deg, expected)))
+            uncalibrated_errors.append(float(angular_difference(without_cal.bearing_deg, expected)))
+    return CalibrationAblation(
+        median_error_calibrated_deg=float(np.median(calibrated_errors)),
+        median_error_uncalibrated_deg=float(np.median(uncalibrated_errors)),
+    )
+
+
+# --------------------------------------------------------------------------- E8
+@dataclass(frozen=True)
+class EstimatorComparison:
+    """Median bearing error per estimation method."""
+
+    median_error_by_method_deg: Dict[str, float]
+
+    def as_table(self) -> str:
+        return format_table(
+            ["method", "median bearing error (deg)"],
+            sorted(self.median_error_by_method_deg.items()),
+        )
+
+
+def run_estimator_comparison(client_ids: Sequence[int] = (13, 14, 17, 18, 19, 20),
+                             packets_per_client: int = 3,
+                             rng: RngLike = 42) -> EstimatorComparison:
+    """Compare Equation 1, Bartlett, Capon, and MUSIC on the linear array.
+
+    Uses the linear-arrangement clients so the two-antenna phase method
+    (which reports broadside angles) is directly comparable.
+    """
+    environment = figure4_environment()
+    array = UniformLinearArray(num_elements=8)
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
+    calibration = simulator.calibration_table()
+    estimators = {
+        "music": AoAEstimator(array, EstimatorConfig(method="music")),
+        "capon": AoAEstimator(array, EstimatorConfig(method="capon")),
+        "bartlett": AoAEstimator(array, EstimatorConfig(method="bartlett")),
+    }
+
+    errors: Dict[str, List[float]] = {name: [] for name in estimators}
+    errors["two-antenna (eq. 1)"] = []
+    for client_id in client_ids:
+        expected = simulator.expected_client_bearing(client_id)
+        for index in range(packets_per_client):
+            capture = simulator.capture_from_client(client_id, elapsed_s=index * 0.5)
+            calibrated = calibration.apply(capture)
+            for name, estimator in estimators.items():
+                estimate = estimator.process(calibrated)
+                errors[name].append(float(angular_difference(estimate.bearing_deg, expected)))
+            two_antenna = two_antenna_bearing(
+                calibrated.samples[:2], spacing_m=array.spacing, wavelength_m=array.wavelength)
+            errors["two-antenna (eq. 1)"].append(float(angular_difference(two_antenna, expected)))
+    return EstimatorComparison(
+        median_error_by_method_deg={name: float(np.median(values))
+                                    for name, values in errors.items()},
+    )
+
+
+# --------------------------------------------------------------------------- E9
+@dataclass(frozen=True)
+class SnrSweep:
+    """Median bearing error versus transmit power."""
+
+    median_error_by_tx_power_deg: Dict[float, float]
+
+    def as_table(self) -> str:
+        return format_table(
+            ["tx power (dBm)", "median bearing error (deg)"],
+            sorted(self.median_error_by_tx_power_deg.items()),
+        )
+
+
+def run_snr_sweep(tx_powers_dbm: Sequence[float] = (-80.0, -70.0, -60.0, -45.0, -25.0, 0.0, 15.0),
+                  client_ids: Sequence[int] = (1, 5, 9),
+                  packets_per_point: int = 3,
+                  rng: RngLike = 42) -> SnrSweep:
+    """Bearing error as the transmit power (and hence SNR at the AP) is reduced."""
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
+    calibration = simulator.calibration_table()
+    estimator = AoAEstimator(array, EstimatorConfig())
+
+    results: Dict[float, float] = {}
+    for tx_power in tx_powers_dbm:
+        errors: List[float] = []
+        for client_id in client_ids:
+            expected = simulator.expected_client_bearing(client_id)
+            for index in range(packets_per_point):
+                capture = simulator.capture_from_client(
+                    client_id, tx_power_dbm=float(tx_power), elapsed_s=index * 0.5)
+                estimate = estimator.process(capture, calibration=calibration)
+                errors.append(float(angular_difference(estimate.bearing_deg, expected)))
+        results[float(tx_power)] = float(np.median(errors))
+    return SnrSweep(median_error_by_tx_power_deg=results)
+
+
+# -------------------------------------------------------------------------- E9b
+@dataclass(frozen=True)
+class PacketsPerSignatureSweep:
+    """Separation between legitimate and attacker similarity versus training size."""
+
+    legitimate_similarity_by_packets: Dict[int, float]
+    attacker_similarity_by_packets: Dict[int, float]
+
+    def separation(self, num_packets: int) -> float:
+        """Similarity gap (legitimate minus attacker) for a training size."""
+        return (self.legitimate_similarity_by_packets[num_packets]
+                - self.attacker_similarity_by_packets[num_packets])
+
+    def as_table(self) -> str:
+        rows = []
+        for packets in sorted(self.legitimate_similarity_by_packets):
+            rows.append((packets,
+                         self.legitimate_similarity_by_packets[packets],
+                         self.attacker_similarity_by_packets[packets],
+                         self.separation(packets)))
+        return format_table(
+            ["training packets", "legit similarity", "attacker similarity", "separation"],
+            rows,
+        )
+
+
+def run_packets_per_signature_sweep(training_sizes: Sequence[int] = (1, 2, 5, 10),
+                                    victim_client_id: int = 5,
+                                    attacker_client_id: int = 9,
+                                    num_probe_packets: int = 5,
+                                    rng: RngLike = 42) -> PacketsPerSignatureSweep:
+    """How training-set size affects legitimate/attacker signature separation."""
+    generator = ensure_rng(rng)
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(),
+                                 rng=spawn_rng(generator, 1))
+    calibration = simulator.calibration_table()
+    estimator = AoAEstimator(array, EstimatorConfig())
+
+    def signature_of(client_id: int, elapsed_s: float) -> AoASignature:
+        capture = simulator.capture_from_client(client_id, elapsed_s=elapsed_s)
+        estimate = estimator.process(capture, calibration=calibration)
+        return AoASignature.from_pseudospectrum(estimate.pseudospectrum, captured_at_s=elapsed_s)
+
+    legitimate: Dict[int, float] = {}
+    attacker: Dict[int, float] = {}
+    for training_size in training_sizes:
+        if training_size < 1:
+            raise ValueError("training sizes must be positive")
+        trained = signature_of(victim_client_id, 0.0)
+        for index in range(1, training_size):
+            trained = trained.merged_with(signature_of(victim_client_id, index * 0.5),
+                                          weight=1.0 / (index + 1))
+        legit_similarities = []
+        attacker_similarities = []
+        for probe in range(num_probe_packets):
+            elapsed = 30.0 + probe * 2.0
+            legit_similarities.append(signature_similarity(
+                trained, signature_of(victim_client_id, elapsed)))
+            attacker_similarities.append(signature_similarity(
+                trained, signature_of(attacker_client_id, elapsed)))
+        legitimate[int(training_size)] = float(np.mean(legit_similarities))
+        attacker[int(training_size)] = float(np.mean(attacker_similarities))
+    return PacketsPerSignatureSweep(
+        legitimate_similarity_by_packets=legitimate,
+        attacker_similarity_by_packets=attacker,
+    )

@@ -1,0 +1,90 @@
+"""The headline accuracy claim of Section 2.3.1.
+
+"After overhearing just one packet, it is possible to measure approximately
+three quarters of our clients' bearings to the access point to within 2.5
+degrees and all clients' bearings to within 14 degrees with 95 % confidence."
+
+``evaluate_accuracy_claim`` measures exactly that statistic on the simulated
+testbed: for every client it collects per-packet (single-packet) bearing
+errors, takes each client's 95th-percentile error, and reports what fraction
+of clients stay within 2.5 degrees and within 14 degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.experiments.reporting import format_table
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
+from repro.utils.angles import angular_difference
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class AccuracyClaim:
+    """Per-client single-packet accuracy at a given confidence level."""
+
+    per_client_quantile_error_deg: Dict[int, float]
+    confidence: float
+    num_packets: int
+
+    @property
+    def fraction_within_2_5_deg(self) -> float:
+        """Fraction of clients within 2.5 degrees (paper: about three quarters)."""
+        errors = np.array(list(self.per_client_quantile_error_deg.values()))
+        return float(np.mean(errors <= 2.5))
+
+    @property
+    def fraction_within_14_deg(self) -> float:
+        """Fraction of clients within 14 degrees (paper: all clients)."""
+        errors = np.array(list(self.per_client_quantile_error_deg.values()))
+        return float(np.mean(errors <= 14.0))
+
+    @property
+    def worst_client_error_deg(self) -> float:
+        """The largest per-client quantile error."""
+        return float(max(self.per_client_quantile_error_deg.values()))
+
+    def as_table(self) -> str:
+        """Text rendering of the per-client quantile errors."""
+        return format_table(
+            ["client", f"{int(self.confidence * 100)}th pct error (deg)"],
+            sorted(self.per_client_quantile_error_deg.items()),
+        )
+
+
+def evaluate_accuracy_claim(num_packets: int = 10,
+                            confidence: float = 0.95,
+                            client_ids: Optional[Sequence[int]] = None,
+                            estimator_config: Optional[EstimatorConfig] = None,
+                            rng: RngLike = 42) -> AccuracyClaim:
+    """Measure the Section 2.3.1 single-packet bearing-accuracy claim."""
+    if num_packets < 1:
+        raise ValueError("num_packets must be at least 1")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    environment = figure4_environment()
+    if client_ids is None:
+        client_ids = environment.client_ids
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
+    calibration = simulator.calibration_table()
+    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+
+    per_client: Dict[int, float] = {}
+    for client_id in client_ids:
+        expected = simulator.expected_client_bearing(client_id)
+        errors: List[float] = []
+        for index in range(num_packets):
+            capture = simulator.capture_from_client(client_id, elapsed_s=index * 0.5)
+            estimate = estimator.process(capture, calibration=calibration)
+            errors.append(float(angular_difference(estimate.bearing_deg, expected)))
+        per_client[client_id] = float(np.quantile(errors, confidence))
+    return AccuracyClaim(per_client_quantile_error_deg=per_client,
+                         confidence=confidence, num_packets=num_packets)

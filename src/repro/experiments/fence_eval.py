@@ -1,0 +1,171 @@
+"""The virtual-fence evaluation (Section 2.3.1).
+
+Two SecureAngle access points with circular arrays are placed in the building;
+each computes the direct-path bearing of every transmitter from its own
+captures, the controller triangulates the transmitter and checks it against
+the building boundary.  The evaluation covers three populations:
+
+* the twenty legitimate indoor clients (should be admitted),
+* transmitters at outdoor positions just outside the building (should be
+  dropped), and
+* a directional-antenna attacker outdoors aiming at one of the APs — the
+  strong attacker of the threat model.
+
+The metrics are the admit rate for insiders, the drop rate for outsiders, and
+the localisation error for the indoor clients (whose ground-truth positions
+are known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aoa.estimator import EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.attacks.attacker import DirectionalAntennaAttacker
+from repro.core.access_point import AccessPointConfig, SecureAngleAP
+from repro.core.controller import SecureAngleController
+from repro.core.fence import FenceDecision, VirtualFence
+from repro.experiments.reporting import format_table
+from repro.geometry.point import Point
+from repro.mac.address import MacAddress
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class FenceCase:
+    """One transmitter's outcome."""
+
+    label: str
+    true_position: Point
+    truly_inside: bool
+    decision: FenceDecision
+    admitted: bool
+    localization_error_m: Optional[float]
+
+
+@dataclass(frozen=True)
+class FenceEvaluation:
+    """Outcomes for every transmitter in the evaluation."""
+
+    cases: List[FenceCase]
+
+    @property
+    def insider_admit_rate(self) -> float:
+        """Fraction of genuinely-inside transmitters that were admitted."""
+        insiders = [case for case in self.cases if case.truly_inside]
+        if not insiders:
+            return float("nan")
+        return float(np.mean([case.admitted for case in insiders]))
+
+    @property
+    def outsider_drop_rate(self) -> float:
+        """Fraction of genuinely-outside transmitters that were dropped."""
+        outsiders = [case for case in self.cases if not case.truly_inside]
+        if not outsiders:
+            return float("nan")
+        return float(np.mean([not case.admitted for case in outsiders]))
+
+    @property
+    def median_localization_error_m(self) -> float:
+        """Median localisation error over the transmitters with known positions."""
+        errors = [case.localization_error_m for case in self.cases
+                  if case.localization_error_m is not None]
+        if not errors:
+            return float("nan")
+        return float(np.median(errors))
+
+    def as_table(self) -> str:
+        """Text rendering of the per-transmitter outcomes."""
+        return format_table(
+            ["transmitter", "truly inside", "decision", "admitted", "loc error (m)"],
+            [
+                (case.label, case.truly_inside, case.decision.value, case.admitted,
+                 "-" if case.localization_error_m is None else case.localization_error_m)
+                for case in self.cases
+            ],
+        )
+
+
+def run_fence_evaluation(packets_per_transmitter: int = 3,
+                         margin_m: float = 1.0,
+                         estimator_config: Optional[EstimatorConfig] = None,
+                         rng: RngLike = 42) -> FenceEvaluation:
+    """Run the two-AP virtual-fence evaluation on the simulated testbed."""
+    if packets_per_transmitter < 1:
+        raise ValueError("packets_per_transmitter must be at least 1")
+    generator = ensure_rng(rng)
+    environment = figure4_environment()
+    estimator_config = estimator_config or EstimatorConfig()
+
+    # Three APs, per Section 2.3.1's "more than two access points": spreading
+    # them across the office keeps the triangulation geometry well-conditioned
+    # for transmitters on every side of the building.
+    ap_specs = [
+        ("ap-main", environment.ap_position),
+        ("ap-east", Point(20.0, 11.0)),
+        ("ap-south", Point(15.0, 2.5)),
+    ]
+    simulators: Dict[str, TestbedSimulator] = {}
+    aps: List[SecureAngleAP] = []
+    for index, (name, position) in enumerate(ap_specs):
+        array = OctagonalArray()
+        simulator = TestbedSimulator(environment, array, ap_position=position,
+                                     config=SimulatorConfig(), rng=spawn_rng(generator, index))
+        simulators[name] = simulator
+        ap = SecureAngleAP(name=name, position=position, array=array,
+                           config=AccessPointConfig(estimator=estimator_config))
+        ap.set_calibration(simulator.calibration_table())
+        aps.append(ap)
+
+    fence = VirtualFence(environment.building_boundary, margin_m=margin_m)
+    controller = SecureAngleController(aps, fence=fence)
+
+    cases: List[FenceCase] = []
+
+    def evaluate(label: str, position: Point, attacker=None) -> None:
+        votes: List[FenceDecision] = []
+        errors: List[float] = []
+        for packet_index in range(packets_per_transmitter):
+            captures = {
+                name: simulator.capture_from_position(
+                    position, elapsed_s=packet_index * 0.5, attacker=attacker)
+                for name, simulator in simulators.items()
+            }
+            check = controller.fence_check(captures)
+            votes.append(check.decision)
+            if check.location is not None and check.decision is not FenceDecision.INDETERMINATE:
+                errors.append(check.location.position.distance_to(position))
+        # Majority vote across the packets of one transmitter.
+        admits = sum(1 for vote in votes if vote is FenceDecision.INSIDE)
+        final = FenceDecision.INSIDE if admits > len(votes) / 2 else (
+            FenceDecision.OUTSIDE if any(v is FenceDecision.OUTSIDE for v in votes)
+            else FenceDecision.INDETERMINATE)
+        truly_inside = environment.is_inside_building(position)
+        cases.append(FenceCase(
+            label=label,
+            true_position=position,
+            truly_inside=truly_inside,
+            decision=final,
+            admitted=final is FenceDecision.INSIDE,
+            localization_error_m=float(np.median(errors)) if errors else None,
+        ))
+
+    for client_id in environment.client_ids:
+        evaluate(f"client-{client_id}", environment.client_position(client_id))
+    for label, position in environment.outdoor_positions.items():
+        evaluate(f"outdoor-{label}", position)
+    # The strong attacker: outdoors with a directional antenna aimed at the main AP.
+    attacker = DirectionalAntennaAttacker(
+        position=environment.outdoor_positions["street-east"],
+        address=MacAddress.random(generator),
+        aim_point=environment.ap_position,
+    )
+    evaluate("directional-attacker", attacker.position, attacker=attacker)
+
+    return FenceEvaluation(cases=cases)

@@ -1,0 +1,134 @@
+"""Figure 5: measured versus ground-truth bearings for the testbed clients.
+
+The paper computes, for each of the 20 Soekris clients and with the circular
+(octagonal) antenna arrangement, ten pseudospectra from ten different packets,
+takes the bearing of each pseudospectrum's maximum, and plots the mean bearing
+with a 99 % confidence interval against the ground-truth bearing.  The text
+quotes a mean 99 % confidence interval of roughly 7 degrees and notes that the
+blocked (11, 12) and far (6) clients show the largest variance.
+
+``run_figure5`` reproduces exactly that procedure on the simulated testbed and
+returns one row per client (ground truth, mean estimate, confidence interval,
+error) plus the summary statistics the accuracy claim (Section 2.3.1) is built
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.experiments.reporting import format_table
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
+from repro.utils.angles import angular_difference, circular_mean, confidence_interval_halfwidth
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class ClientBearingRow:
+    """One client's row of the Figure 5 data."""
+
+    client_id: int
+    ground_truth_deg: float
+    mean_estimate_deg: float
+    confidence_halfwidth_deg: float
+    error_deg: float
+    per_packet_bearings_deg: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """The full Figure 5 dataset plus its summary statistics."""
+
+    rows: List[ClientBearingRow]
+    num_packets: int
+    confidence: float
+
+    @property
+    def mean_confidence_halfwidth_deg(self) -> float:
+        """Mean 99 % confidence-interval half-width across clients (paper: ~7 deg)."""
+        return float(np.mean([row.confidence_halfwidth_deg for row in self.rows]))
+
+    @property
+    def errors_deg(self) -> np.ndarray:
+        """Per-client bearing errors of the mean estimates."""
+        return np.array([row.error_deg for row in self.rows])
+
+    def fraction_within(self, threshold_deg: float) -> float:
+        """Fraction of clients whose mean bearing error is within ``threshold_deg``."""
+        if threshold_deg <= 0:
+            raise ValueError("threshold_deg must be positive")
+        return float(np.mean(self.errors_deg <= threshold_deg))
+
+    def as_table(self) -> str:
+        """Text rendering of the per-client rows (what the benchmark prints)."""
+        return format_table(
+            ["client", "truth (deg)", "mean est (deg)", "99% CI (deg)", "error (deg)"],
+            [
+                (row.client_id, row.ground_truth_deg, row.mean_estimate_deg,
+                 row.confidence_halfwidth_deg, row.error_deg)
+                for row in self.rows
+            ],
+        )
+
+
+def run_figure5(num_packets: int = 10,
+                client_ids: Optional[Sequence[int]] = None,
+                inter_packet_gap_s: float = 0.5,
+                confidence: float = 0.99,
+                estimator_config: Optional[EstimatorConfig] = None,
+                rng: RngLike = 42) -> Figure5Result:
+    """Reproduce Figure 5 on the simulated testbed.
+
+    Parameters
+    ----------
+    num_packets:
+        Pseudospectra per client (the paper uses 10).
+    client_ids:
+        Which clients to measure; defaults to all twenty.
+    inter_packet_gap_s:
+        Spacing between the packets of one client's burst.
+    confidence:
+        Confidence level of the interval (the paper plots 99 %).
+    estimator_config:
+        Overrides the default MUSIC pipeline configuration.
+    rng:
+        Seed controlling every stochastic part of the simulation.
+    """
+    if num_packets < 1:
+        raise ValueError("num_packets must be at least 1")
+    environment = figure4_environment()
+    if client_ids is None:
+        client_ids = environment.client_ids
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
+    calibration = simulator.calibration_table()
+    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+
+    rows: List[ClientBearingRow] = []
+    for client_id in client_ids:
+        expected = simulator.expected_client_bearing(client_id)
+        bearings: List[float] = []
+        for index in range(num_packets):
+            capture = simulator.capture_from_client(
+                client_id, elapsed_s=index * inter_packet_gap_s,
+                timestamp_s=index * inter_packet_gap_s)
+            estimate = estimator.process(capture, calibration=calibration)
+            bearings.append(estimate.bearing_deg)
+        mean_bearing = circular_mean(bearings)
+        halfwidth = confidence_interval_halfwidth(bearings, confidence=confidence)
+        error = float(angular_difference(mean_bearing, expected))
+        rows.append(ClientBearingRow(
+            client_id=client_id,
+            ground_truth_deg=float(expected),
+            mean_estimate_deg=float(mean_bearing),
+            confidence_halfwidth_deg=float(halfwidth),
+            error_deg=error,
+            per_packet_bearings_deg=bearings,
+        ))
+    return Figure5Result(rows=rows, num_packets=num_packets, confidence=confidence)

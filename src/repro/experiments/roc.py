@@ -1,0 +1,123 @@
+"""Spoofing-detector operating characteristic (threshold sweep).
+
+Section 2.3.2 requires "a significant difference between the certified
+signature and an attacker's signature so that they can be discriminated from
+each other".  The operating-characteristic experiment makes that requirement
+quantitative: it collects similarity scores for the legitimate client's later
+packets and for spoofed packets injected by several attacker types, sweeps the
+detector threshold, and reports detection and false-alarm rates per threshold
+— the curve an operator would use to pick the deployment threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.core.metrics import signature_similarity
+from repro.core.signature import AoASignature
+from repro.experiments.reporting import format_table
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """Detection and false-alarm rates at one similarity threshold."""
+
+    threshold: float
+    detection_rate: float
+    false_alarm_rate: float
+
+
+@dataclass(frozen=True)
+class SpoofingRoc:
+    """The full threshold sweep plus the underlying score populations."""
+
+    points: List[RocPoint]
+    legitimate_scores: List[float]
+    attacker_scores: List[float]
+
+    @property
+    def similarity_gap(self) -> float:
+        """Gap between the worst legitimate score and the best attacker score."""
+        if not self.legitimate_scores or not self.attacker_scores:
+            return float("nan")
+        return float(min(self.legitimate_scores) - max(self.attacker_scores))
+
+    def best_threshold(self) -> RocPoint:
+        """The sweep point maximising detection minus false alarms (Youden's J)."""
+        return max(self.points, key=lambda p: p.detection_rate - p.false_alarm_rate)
+
+    def operating_point(self, threshold: float) -> RocPoint:
+        """The sweep point closest to a given threshold."""
+        return min(self.points, key=lambda p: abs(p.threshold - threshold))
+
+    def as_table(self) -> str:
+        """Text rendering of the sweep."""
+        return format_table(
+            ["threshold", "detection rate", "false-alarm rate"],
+            [(p.threshold, p.detection_rate, p.false_alarm_rate) for p in self.points],
+        )
+
+
+def run_spoofing_roc(victim_client_id: int = 5,
+                     attacker_client_ids: Sequence[int] = (3, 9, 15, 18),
+                     num_training_packets: int = 10,
+                     num_probe_packets: int = 10,
+                     thresholds: Optional[Sequence[float]] = None,
+                     estimator_config: Optional[EstimatorConfig] = None,
+                     rng: RngLike = 42) -> SpoofingRoc:
+    """Sweep the similarity threshold of the spoofing detector.
+
+    Attackers are modelled as transmitters at other client positions spoofing
+    the victim's address (the geometry, not the MAC header, is what the
+    detector sees), which makes the sweep independent of any particular
+    antenna model.
+    """
+    if num_training_packets < 1 or num_probe_packets < 1:
+        raise ValueError("packet counts must be positive")
+    if thresholds is None:
+        thresholds = np.round(np.arange(0.05, 1.0, 0.05), 3)
+    generator = ensure_rng(rng)
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(),
+                                 rng=spawn_rng(generator, 1))
+    calibration = simulator.calibration_table()
+    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+
+    def signature_of(client_id: int, elapsed_s: float) -> AoASignature:
+        capture = simulator.capture_from_client(client_id, elapsed_s=elapsed_s)
+        estimate = estimator.process(capture, calibration=calibration)
+        return AoASignature.from_pseudospectrum(estimate.pseudospectrum, captured_at_s=elapsed_s)
+
+    # Certified signature: average of the training packets.
+    certified = signature_of(victim_client_id, 0.0)
+    for index in range(1, num_training_packets):
+        certified = certified.merged_with(signature_of(victim_client_id, index * 0.5),
+                                          weight=1.0 / (index + 1))
+
+    legitimate_scores = [
+        signature_similarity(certified, signature_of(victim_client_id, 60.0 + 5.0 * index))
+        for index in range(num_probe_packets)
+    ]
+    attacker_scores: List[float] = []
+    for attacker_client in attacker_client_ids:
+        for index in range(num_probe_packets):
+            attacker_scores.append(signature_similarity(
+                certified, signature_of(attacker_client, 120.0 + 5.0 * index)))
+
+    points = []
+    for threshold in thresholds:
+        detection = float(np.mean([score < threshold for score in attacker_scores]))
+        false_alarm = float(np.mean([score < threshold for score in legitimate_scores]))
+        points.append(RocPoint(threshold=float(threshold), detection_rate=detection,
+                               false_alarm_rate=false_alarm))
+    return SpoofingRoc(points=points, legitimate_scores=legitimate_scores,
+                       attacker_scores=attacker_scores)

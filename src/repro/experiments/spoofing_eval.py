@@ -1,0 +1,193 @@
+"""The address-spoofing-detection evaluation (Sections 2.3.2 and 3.2).
+
+A legitimate client trains its certified signature at the access point; an
+attacker elsewhere in (or outside) the building then injects frames carrying
+the client's MAC address.  The evaluation measures, over many packets:
+
+* the **detection rate** — how often the attacker's spoofed frames are flagged,
+  for each attacker type of the threat model (omnidirectional, directional
+  antenna aimed at the AP, antenna array), and
+* the **false-alarm rate** — how often the legitimate client's own subsequent
+  frames are wrongly flagged (the environment keeps evolving between packets,
+  so this exercises signature tracking too), and
+* the same two numbers for the RSS-signalprint baseline, which the paper
+  argues is coarser and subvertible with directional antennas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aoa.estimator import EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.attacks.attacker import (
+    AntennaArrayAttacker,
+    Attacker,
+    DirectionalAntennaAttacker,
+    OmnidirectionalAttacker,
+)
+from repro.attacks.spoofing_attack import SpoofingAttack
+from repro.baselines.rss_signalprint import RssSignalprint, RssSpoofingDetector
+from repro.core.access_point import AccessPointConfig, SecureAngleAP
+from repro.core.signature import AoASignature
+from repro.core.spoofing import SpoofingVerdict
+from repro.experiments.reporting import format_table
+from repro.geometry.point import Point
+from repro.mac.address import MacAddress
+from repro.testbed.environment import figure4_environment
+from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class AttackerOutcome:
+    """Detection statistics for one attacker configuration."""
+
+    attacker_name: str
+    attacker_position: Point
+    detection_rate: float
+    rss_detection_rate: float
+    mean_similarity: float
+
+
+@dataclass(frozen=True)
+class SpoofingEvaluation:
+    """Results of the spoofing-detection evaluation."""
+
+    victim_client_id: int
+    false_alarm_rate: float
+    rss_false_alarm_rate: float
+    attackers: List[AttackerOutcome]
+
+    @property
+    def mean_detection_rate(self) -> float:
+        """Mean detection rate across all attacker configurations."""
+        return float(np.mean([outcome.detection_rate for outcome in self.attackers]))
+
+    def as_table(self) -> str:
+        """Text rendering of the per-attacker outcomes."""
+        rows = [("legitimate client (false alarms)", "-", self.false_alarm_rate,
+                 self.rss_false_alarm_rate, "-")]
+        rows.extend(
+            (outcome.attacker_name,
+             f"({outcome.attacker_position.x:.1f}, {outcome.attacker_position.y:.1f})",
+             outcome.detection_rate, outcome.rss_detection_rate, outcome.mean_similarity)
+            for outcome in self.attackers
+        )
+        return format_table(
+            ["transmitter", "position", "SecureAngle flag rate", "RSS flag rate", "mean similarity"],
+            rows,
+        )
+
+
+def run_spoofing_evaluation(victim_client_id: int = 5,
+                            num_training_packets: int = 10,
+                            num_test_packets: int = 20,
+                            estimator_config: Optional[EstimatorConfig] = None,
+                            rng: RngLike = 42) -> SpoofingEvaluation:
+    """Run the spoofing-detection evaluation on the simulated testbed."""
+    if num_training_packets < 1 or num_test_packets < 1:
+        raise ValueError("training and test packet counts must be positive")
+    generator = ensure_rng(rng)
+    environment = figure4_environment()
+    array = OctagonalArray()
+    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(),
+                                 rng=spawn_rng(generator, 1))
+    calibration = simulator.calibration_table()
+
+    ap_address = MacAddress.random(spawn_rng(generator, 2))
+    victim_address = MacAddress.random(spawn_rng(generator, 3))
+    ap = SecureAngleAP(name="ap-main", position=environment.ap_position, array=array,
+                       config=AccessPointConfig(estimator=estimator_config or EstimatorConfig()))
+    ap.set_calibration(calibration)
+
+    rss_detector = RssSpoofingDetector(match_threshold_db=6.0)
+
+    # ----------------------------------------------------------------- training
+    training_captures = [
+        simulator.capture_from_client(victim_client_id, elapsed_s=index * 0.5,
+                                      timestamp_s=index * 0.5)
+        for index in range(num_training_packets)
+    ]
+    ap.train_client(victim_address, training_captures)
+    rss_detector.train(victim_address, RssSignalprint.from_capture_power(
+        [np.mean([c.power_dbm() for c in training_captures])]))
+
+    # ----------------------------------------------- legitimate client, later on
+    false_alarms = 0
+    rss_false_alarms = 0
+    for index in range(num_test_packets):
+        elapsed = 60.0 + index * 5.0
+        capture = simulator.capture_from_client(victim_client_id, elapsed_s=elapsed,
+                                                timestamp_s=elapsed)
+        observation = AoASignature.from_pseudospectrum(
+            ap.analyze(capture).pseudospectrum, captured_at_s=elapsed)
+        check = ap.detector.check(victim_address, observation)
+        if check.verdict is SpoofingVerdict.SPOOFED:
+            false_alarms += 1
+        else:
+            ap.tracker.observe(victim_address, observation, elapsed)
+        if not rss_detector.matches(victim_address,
+                                    RssSignalprint.from_capture_power([capture.power_dbm()])):
+            rss_false_alarms += 1
+
+    # -------------------------------------------------------------- the attackers
+    attacker_rng = spawn_rng(generator, 4)
+    indoor_attack_position = environment.client_position(9)
+    outdoor_attack_position = environment.outdoor_positions["street-east"]
+    attackers: List[Attacker] = [
+        OmnidirectionalAttacker(position=indoor_attack_position,
+                                address=MacAddress.random(attacker_rng),
+                                name="omni-indoor"),
+        OmnidirectionalAttacker(position=outdoor_attack_position,
+                                address=MacAddress.random(attacker_rng),
+                                name="omni-outdoor"),
+        DirectionalAntennaAttacker(position=outdoor_attack_position,
+                                   address=MacAddress.random(attacker_rng),
+                                   aim_point=environment.ap_position,
+                                   name="directional-outdoor"),
+        AntennaArrayAttacker(position=indoor_attack_position,
+                             address=MacAddress.random(attacker_rng),
+                             aim_point=environment.ap_position,
+                             name="array-indoor"),
+    ]
+
+    outcomes: List[AttackerOutcome] = []
+    for attacker in attackers:
+        attack = SpoofingAttack(attacker=attacker, victim_address=victim_address,
+                                ap_address=ap_address, num_frames=num_test_packets)
+        detections = 0
+        rss_detections = 0
+        similarities: List[float] = []
+        for index, _frame in enumerate(attack.iter_frames()):
+            elapsed = 200.0 + index * 5.0
+            capture = simulator.capture_from_position(
+                attacker.position, elapsed_s=elapsed, timestamp_s=elapsed,
+                attacker=attacker, tx_power_dbm=attacker.tx_power_dbm)
+            observation = AoASignature.from_pseudospectrum(
+                ap.analyze(capture).pseudospectrum, captured_at_s=elapsed)
+            check = ap.detector.check(victim_address, observation)
+            similarities.append(check.similarity)
+            if check.verdict is SpoofingVerdict.SPOOFED:
+                detections += 1
+            if not rss_detector.matches(
+                    victim_address, RssSignalprint.from_capture_power([capture.power_dbm()])):
+                rss_detections += 1
+        ap.detector.reset(victim_address)
+        outcomes.append(AttackerOutcome(
+            attacker_name=attacker.name,
+            attacker_position=attacker.position,
+            detection_rate=detections / num_test_packets,
+            rss_detection_rate=rss_detections / num_test_packets,
+            mean_similarity=float(np.mean(similarities)),
+        ))
+
+    return SpoofingEvaluation(
+        victim_client_id=victim_client_id,
+        false_alarm_rate=false_alarms / num_test_packets,
+        rss_false_alarm_rate=rss_false_alarms / num_test_packets,
+        attackers=outcomes,
+    )

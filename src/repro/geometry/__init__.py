@@ -1,0 +1,16 @@
+"""2-D geometry primitives used by the testbed environment and ray tracer."""
+
+from repro.geometry.point import Point, Vector
+from repro.geometry.segment import Segment
+from repro.geometry.polygon import Polygon
+from repro.geometry.room import Obstacle, Room, Wall
+
+__all__ = [
+    "Point",
+    "Vector",
+    "Segment",
+    "Polygon",
+    "Wall",
+    "Obstacle",
+    "Room",
+]

@@ -1,0 +1,21 @@
+"""Radio hardware models: the WARP-like array receiver and its impairments."""
+
+from repro.hardware.capture import Capture
+from repro.hardware.oscillator import LocalOscillator, OscillatorBank
+from repro.hardware.radiochain import RadioChain, RadioChainConfig
+from repro.hardware.switch import RFSwitch, SwitchPosition
+from repro.hardware.reference import CalibrationSource
+from repro.hardware.receiver import ArrayReceiver, ReceiverConfig
+
+__all__ = [
+    "Capture",
+    "LocalOscillator",
+    "OscillatorBank",
+    "RadioChain",
+    "RadioChainConfig",
+    "RFSwitch",
+    "SwitchPosition",
+    "CalibrationSource",
+    "ArrayReceiver",
+    "ReceiverConfig",
+]

@@ -1,0 +1,142 @@
+"""The multi-board array receiver.
+
+The prototype (Figure 3 of the paper) is two WARP boards of four radio chains
+each, modified to share sampling clocks so there is no inter-board frequency
+offset, plus the RF switches and cabled calibration source of Figure 2.
+``ArrayReceiver`` models the whole assembly: it takes the noiseless
+per-antenna signals produced by :class:`repro.channel.channel.ArrayChannel`,
+passes them through the eight radio chains (each with its own unknown phase
+offset, gain mismatch, and thermal noise), and emits a :class:`Capture`.
+
+It can also capture the calibration source (switches in the "lower" position),
+which is what :mod:`repro.calibration` uses to recover the phase offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.arrays.geometry import AntennaArray
+from repro.constants import DEFAULT_CARRIER_FREQUENCY_HZ, DEFAULT_SAMPLE_RATE_HZ
+from repro.hardware.capture import Capture
+from repro.hardware.oscillator import OscillatorBank
+from repro.hardware.radiochain import RadioChain, RadioChainConfig
+from repro.hardware.reference import CalibrationSource
+from repro.hardware.switch import RFSwitch, SwitchPosition
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class ReceiverConfig:
+    """Static parameters of the array receiver."""
+
+    sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ
+    carrier_frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ
+    chain_config: RadioChainConfig = RadioChainConfig()
+    #: Whether thermal noise is added (disabled by some unit tests that check
+    #: phase relationships exactly).
+    add_noise: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(self.sample_rate_hz, "sample_rate_hz")
+        require_positive(self.carrier_frequency_hz, "carrier_frequency_hz")
+
+
+class ArrayReceiver:
+    """An N-chain phase-locked receiver attached to an antenna array."""
+
+    def __init__(self, array: AntennaArray,
+                 config: ReceiverConfig = ReceiverConfig(),
+                 phase_offsets_rad: Optional[Sequence[float]] = None,
+                 rng: RngLike = None):
+        self.array = array
+        self.config = config
+        self._rng = ensure_rng(rng)
+        num_chains = array.num_elements
+        self.oscillators = OscillatorBank(
+            num_chains,
+            frequency_hz=config.carrier_frequency_hz,
+            phase_offsets_rad=phase_offsets_rad,
+            rng=spawn_rng(self._rng, stream=1),
+        )
+        chain_rng = spawn_rng(self._rng, stream=2)
+        self.chains: List[RadioChain] = [
+            RadioChain(self.oscillators[i], config.chain_config, rng=spawn_rng(chain_rng, stream=i))
+            for i in range(num_chains)
+        ]
+        self.switch = RFSwitch(num_chains)
+
+    @property
+    def num_chains(self) -> int:
+        """Number of radio chains (equals the number of antennas)."""
+        return len(self.chains)
+
+    @property
+    def true_phase_offsets_rad(self) -> np.ndarray:
+        """Ground-truth per-chain phase offsets (used only by tests/ablations)."""
+        return self.oscillators.phase_offsets_rad
+
+    # ------------------------------------------------------------------ capture
+    def capture(self, antenna_signals: np.ndarray, timestamp_s: float = 0.0,
+                metadata: Optional[dict] = None, add_noise: Optional[bool] = None,
+                rng: RngLike = None) -> Capture:
+        """Receive over-the-air signals (switches in the antenna position).
+
+        ``antenna_signals`` is the (num_antennas, num_samples) noiseless array
+        output of the channel model.
+        """
+        antenna_signals = np.asarray(antenna_signals, dtype=complex)
+        if antenna_signals.ndim != 2 or antenna_signals.shape[0] != self.num_chains:
+            raise ValueError(
+                f"expected ({self.num_chains}, T) antenna signals, got {antenna_signals.shape}")
+        self.switch.set_all(SwitchPosition.ANTENNA)
+        return self._receive(antenna_signals, timestamp_s, metadata, add_noise, rng,
+                             calibrated=False)
+
+    def capture_calibration(self, source: CalibrationSource,
+                            num_samples: int = 1024,
+                            timestamp_s: float = 0.0,
+                            add_noise: Optional[bool] = None,
+                            rng: RngLike = None) -> Capture:
+        """Capture the cabled calibration tone (switches in the lower position)."""
+        num_samples = require_positive_int(num_samples, "num_samples")
+        if source.num_outputs != self.num_chains:
+            raise ValueError(
+                f"calibration source has {source.num_outputs} outputs "
+                f"but the receiver has {self.num_chains} chains")
+        self.switch.set_all(SwitchPosition.CALIBRATION)
+        signals = source.generate(num_samples, self.config.sample_rate_hz)
+        capture = self._receive(signals, timestamp_s, {"source": "calibration"},
+                                add_noise, rng, calibrated=False)
+        self.switch.set_all(SwitchPosition.ANTENNA)
+        return capture
+
+    # ---------------------------------------------------------------- internals
+    def _receive(self, signals: np.ndarray, timestamp_s: float,
+                 metadata: Optional[dict], add_noise: Optional[bool],
+                 rng: RngLike, calibrated: bool) -> Capture:
+        if add_noise is None:
+            add_noise = self.config.add_noise
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        received = np.empty_like(signals)
+        for index, chain in enumerate(self.chains):
+            received[index] = chain.receive(
+                signals[index], self.config.sample_rate_hz,
+                add_noise=add_noise, rng=spawn_rng(generator, stream=index))
+        return Capture(
+            samples=received,
+            sample_rate_hz=self.config.sample_rate_hz,
+            carrier_frequency_hz=self.config.carrier_frequency_hz,
+            timestamp_s=float(timestamp_s),
+            calibrated=calibrated,
+            metadata=dict(metadata or {}),
+        )
+
+    def __repr__(self) -> str:
+        return (f"ArrayReceiver({self.num_chains} chains, "
+                f"{self.config.carrier_frequency_hz / 1e9:.3f} GHz, "
+                f"array={self.array.name})")

@@ -1,0 +1,67 @@
+"""The calibration reference source (the paper's USRP2).
+
+For calibration the prototype feeds a continuous 2.4 GHz carrier from a USRP2
+through a 36 dB attenuator and an 8-way splitter into every radio front end
+over equal-length cables.  Because the path lengths are equal, any phase
+difference measured between chains is due to the chains themselves — exactly
+the quantity calibration must cancel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CALIBRATION_ATTENUATION_DB
+from repro.utils.validation import require_positive, require_positive_int
+
+
+class CalibrationSource:
+    """A continuous-wave source split equally to every radio chain.
+
+    Parameters
+    ----------
+    output_power_dbm:
+        Source output power before the attenuator.
+    attenuation_db:
+        In-line attenuation (the paper uses 36 dB so the cabled signal does
+        not overload the front ends).
+    num_outputs:
+        Number of splitter outputs (one per radio chain).
+    tone_offset_hz:
+        Baseband frequency of the calibration tone after downconversion.  A
+        small non-zero offset keeps the tone away from DC, where real
+        receivers have artefacts; zero gives a pure DC tone.
+    """
+
+    def __init__(self, output_power_dbm: float = 10.0,
+                 attenuation_db: float = CALIBRATION_ATTENUATION_DB,
+                 num_outputs: int = 8,
+                 tone_offset_hz: float = 0.0):
+        self.output_power_dbm = float(output_power_dbm)
+        if attenuation_db < 0:
+            raise ValueError("attenuation_db must be non-negative")
+        self.attenuation_db = float(attenuation_db)
+        self.num_outputs = require_positive_int(num_outputs, "num_outputs")
+        self.tone_offset_hz = float(tone_offset_hz)
+        # An 8-way splitter divides power equally: 10*log10(8) ~ 9 dB plus a
+        # small excess loss per port.
+        self.splitter_loss_db = 10.0 * np.log10(self.num_outputs) + 0.5
+
+    @property
+    def delivered_power_dbm(self) -> float:
+        """Power delivered to each radio chain input."""
+        return self.output_power_dbm - self.attenuation_db - self.splitter_loss_db
+
+    def generate(self, num_samples: int, sample_rate_hz: float) -> np.ndarray:
+        """Return the (num_outputs, num_samples) calibration signal.
+
+        Every output carries an identical copy of the tone (equal-length
+        cables), so the rows are exactly equal — any inter-row phase
+        difference seen after the radio chains is the chains' own offsets.
+        """
+        num_samples = require_positive_int(num_samples, "num_samples")
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        amplitude = np.sqrt(10.0 ** ((self.delivered_power_dbm - 30.0) / 10.0))
+        t = np.arange(num_samples) / sample_rate_hz
+        tone = amplitude * np.exp(2j * np.pi * self.tone_offset_hz * t)
+        return np.tile(tone, (self.num_outputs, 1))

@@ -1,0 +1,74 @@
+"""RF input switches.
+
+Figure 2 of the paper shows a switch in front of each radio receiver that
+selects between the antenna (normal operation, "upper" position) and the
+calibration signal from the USRP2 via the attenuator and splitter ("lower"
+position).  The switch model simply keeps track of the position per chain and
+routes whichever input is selected.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+import numpy as np
+
+
+class SwitchPosition(enum.Enum):
+    """Which input each radio chain's switch feeds to the receiver."""
+
+    ANTENNA = "antenna"
+    CALIBRATION = "calibration"
+
+
+class RFSwitch:
+    """A bank of per-chain RF switches."""
+
+    def __init__(self, num_chains: int, insertion_loss_db: float = 0.5):
+        if num_chains < 1:
+            raise ValueError("num_chains must be at least 1")
+        if insertion_loss_db < 0:
+            raise ValueError("insertion_loss_db must be non-negative")
+        self.num_chains = int(num_chains)
+        self.insertion_loss_db = float(insertion_loss_db)
+        self._positions: List[SwitchPosition] = [SwitchPosition.ANTENNA] * self.num_chains
+
+    @property
+    def positions(self) -> List[SwitchPosition]:
+        """Current position of each switch."""
+        return list(self._positions)
+
+    def set_all(self, position: SwitchPosition) -> None:
+        """Throw every switch to ``position``."""
+        if not isinstance(position, SwitchPosition):
+            raise TypeError("position must be a SwitchPosition")
+        self._positions = [position] * self.num_chains
+
+    def set_position(self, chain: int, position: SwitchPosition) -> None:
+        """Throw a single chain's switch."""
+        if not 0 <= chain < self.num_chains:
+            raise IndexError(f"chain {chain} out of range")
+        if not isinstance(position, SwitchPosition):
+            raise TypeError("position must be a SwitchPosition")
+        self._positions[chain] = position
+
+    def route(self, antenna_inputs: np.ndarray, calibration_inputs: np.ndarray) -> np.ndarray:
+        """Select, per chain, the antenna or calibration input.
+
+        Both inputs are (num_chains, num_samples) arrays; the output applies
+        the switch insertion loss to whichever input is selected.
+        """
+        antenna_inputs = np.asarray(antenna_inputs, dtype=complex)
+        calibration_inputs = np.asarray(calibration_inputs, dtype=complex)
+        if antenna_inputs.shape != calibration_inputs.shape:
+            raise ValueError("antenna and calibration inputs must have the same shape")
+        if antenna_inputs.shape[0] != self.num_chains:
+            raise ValueError(
+                f"expected {self.num_chains} chains, got {antenna_inputs.shape[0]}")
+        loss = 10.0 ** (-self.insertion_loss_db / 20.0)
+        output = np.empty_like(antenna_inputs)
+        for chain, position in enumerate(self._positions):
+            source = antenna_inputs if position is SwitchPosition.ANTENNA else calibration_inputs
+            output[chain] = loss * source[chain]
+        return output

@@ -1,0 +1,12 @@
+"""802.11 MAC layer: addresses, frames, and address-based access control."""
+
+from repro.mac.address import MacAddress
+from repro.mac.frames import Dot11Frame, FrameType
+from repro.mac.acl import AccessControlList
+
+__all__ = [
+    "MacAddress",
+    "Dot11Frame",
+    "FrameType",
+    "AccessControlList",
+]

@@ -1,0 +1,82 @@
+"""IEEE 802 MAC addresses.
+
+Link-layer addresses are the identity SecureAngle binds AoA signatures to: the
+spoofing-prevention application (Section 2.3.2) records a signature per MAC
+address and compares subsequent packets claiming that address against it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit MAC address, stored canonically as lower-case colon-separated hex."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, str) or not _MAC_RE.match(self.value):
+            raise ValueError(f"invalid MAC address: {self.value!r}")
+        object.__setattr__(self, "value", self.value.lower().replace("-", ":"))
+
+    @staticmethod
+    def from_bytes(octets: bytes) -> "MacAddress":
+        """Build an address from six raw octets."""
+        if len(octets) != 6:
+            raise ValueError(f"a MAC address has 6 octets, got {len(octets)}")
+        return MacAddress(":".join(f"{octet:02x}" for octet in octets))
+
+    @staticmethod
+    def random(rng: RngLike = None, locally_administered: bool = True) -> "MacAddress":
+        """Generate a random unicast MAC address."""
+        generator = ensure_rng(rng)
+        octets = bytearray(int(b) for b in generator.integers(0, 256, size=6))
+        octets[0] &= 0xFE  # clear the multicast bit
+        if locally_administered:
+            octets[0] |= 0x02
+        else:
+            octets[0] &= 0xFD
+        return MacAddress.from_bytes(bytes(octets))
+
+    @staticmethod
+    def broadcast() -> "MacAddress":
+        """The broadcast address ff:ff:ff:ff:ff:ff."""
+        return MacAddress("ff:ff:ff:ff:ff:ff")
+
+    def to_bytes(self) -> bytes:
+        """Return the six raw octets."""
+        return bytes(int(part, 16) for part in self.value.split(":"))
+
+    def to_bits(self) -> np.ndarray:
+        """Return the address as a 48-element 0/1 array (MSB first per octet)."""
+        bits = []
+        for octet in self.to_bytes():
+            bits.extend((octet >> shift) & 1 for shift in range(7, -1, -1))
+        return np.array(bits, dtype=int)
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the group bit is set."""
+        return bool(self.to_bytes()[0] & 0x01)
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self.value == "ff:ff:ff:ff:ff:ff"
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """True when the locally-administered bit is set."""
+        return bool(self.to_bytes()[0] & 0x02)
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,20 @@
+"""802.11-style physical layer: OFDM preambles, packets, packet detection."""
+
+from repro.phy.ofdm import OfdmConfig, OfdmModulator
+from repro.phy.preamble import long_training_field, short_training_field, legacy_preamble
+from repro.phy.packet import PhyPacket, make_packet_waveform
+from repro.phy.schmidl_cox import SchmidlCoxDetector, DetectionResult
+from repro.phy.sampling import SampleBuffer
+
+__all__ = [
+    "OfdmConfig",
+    "OfdmModulator",
+    "short_training_field",
+    "long_training_field",
+    "legacy_preamble",
+    "PhyPacket",
+    "make_packet_waveform",
+    "SchmidlCoxDetector",
+    "DetectionResult",
+    "SampleBuffer",
+]

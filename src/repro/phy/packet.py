@@ -1,0 +1,84 @@
+"""PHY packets: preamble plus OFDM payload, with MAC-layer annotations.
+
+The access point's AoA pipeline works on whole packets (Section 3 of the
+paper: "we detect individual packets in the incoming stream of samples, and
+compute the correlation matrix ... with each entire packet"), so the packet is
+the natural unit linking the MAC frame (whose source address the signature is
+bound to) and the raw samples the estimator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.mac.frames import Dot11Frame
+from repro.phy.ofdm import OfdmConfig, OfdmModulator
+from repro.phy.preamble import legacy_preamble
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class PhyPacket:
+    """A transmit-side PHY packet: waveform samples plus the MAC frame they carry."""
+
+    waveform: np.ndarray
+    frame: Optional[Dot11Frame] = None
+    config: OfdmConfig = field(default_factory=OfdmConfig)
+
+    def __post_init__(self) -> None:
+        waveform = np.asarray(self.waveform, dtype=complex)
+        if waveform.ndim != 1 or waveform.size == 0:
+            raise ValueError("waveform must be a non-empty 1-D complex array")
+        object.__setattr__(self, "waveform", waveform)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of baseband samples in the packet."""
+        return int(self.waveform.size)
+
+    def duration_s(self, sample_rate_hz: float) -> float:
+        """Packet air time in seconds at ``sample_rate_hz``."""
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        return self.num_samples / sample_rate_hz
+
+    def normalized(self) -> "PhyPacket":
+        """Return a copy whose waveform has unit average power."""
+        power = float(np.mean(np.abs(self.waveform) ** 2))
+        if power <= 0:
+            raise ValueError("cannot normalise a zero-power waveform")
+        return PhyPacket(self.waveform / np.sqrt(power), self.frame, self.config)
+
+
+def make_packet_waveform(frame: Optional[Dot11Frame] = None,
+                         num_payload_symbols: int = 20,
+                         config: OfdmConfig = OfdmConfig(),
+                         rng: RngLike = None) -> PhyPacket:
+    """Build a normalised PHY packet: legacy preamble plus an OFDM payload.
+
+    When a MAC ``frame`` is supplied, its serialised bits form the start of the
+    payload (padded with random bits up to ``num_payload_symbols`` symbols);
+    otherwise the payload is random data.  The waveform is normalised to unit
+    average power so transmit power is applied consistently by the channel.
+    """
+    num_payload_symbols = require_positive_int(num_payload_symbols, "num_payload_symbols")
+    generator = ensure_rng(rng)
+    modulator = OfdmModulator(config)
+    bits_per_symbol = 2 * config.num_occupied
+    total_bits = num_payload_symbols * bits_per_symbol
+    if frame is not None:
+        frame_bits = frame.to_bits()
+        if frame_bits.size > total_bits:
+            # Keep the packet length fixed; long frames simply use more symbols.
+            total_bits = int(np.ceil(frame_bits.size / bits_per_symbol)) * bits_per_symbol
+        padding = generator.integers(0, 2, size=total_bits - frame_bits.size)
+        bits = np.concatenate([frame_bits, padding])
+    else:
+        bits = generator.integers(0, 2, size=total_bits)
+    payload = modulator.modulate_payload(bits)
+    waveform = np.concatenate([legacy_preamble(config), payload])
+    return PhyPacket(waveform, frame, config).normalized()

@@ -1,0 +1,73 @@
+"""802.11a/g legacy preamble: short and long training fields.
+
+The short training field (STF) consists of ten repetitions of a 16-sample
+pattern and is what the Schmidl–Cox detector keys on; the long training field
+(LTF) carries two full-length known symbols used for channel estimation and
+fine timing.  The subcarrier sequences below are the standard 802.11a values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.ofdm import OfdmConfig
+
+#: 802.11a short-training-field frequency-domain sequence on subcarriers
+#: -26..26 (53 entries including DC).  Non-zero every fourth subcarrier.
+_STF_SEQUENCE = np.sqrt(13.0 / 6.0) * np.array([
+    0, 0, 1 + 1j, 0, 0, 0, -1 - 1j, 0, 0, 0,
+    1 + 1j, 0, 0, 0, -1 - 1j, 0, 0, 0, -1 - 1j, 0,
+    0, 0, 1 + 1j, 0, 0, 0, 0, 0, 0, 0,
+    -1 - 1j, 0, 0, 0, -1 - 1j, 0, 0, 0, 1 + 1j, 0,
+    0, 0, 1 + 1j, 0, 0, 0, 1 + 1j, 0, 0, 0,
+    1 + 1j, 0, 0,
+], dtype=complex)
+
+#: 802.11a long-training-field frequency-domain sequence on subcarriers
+#: -26..26 (53 entries including DC).
+_LTF_SEQUENCE = np.array([
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1,
+    1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+    1, -1, 1, 1, 1, 1, 0, 1, -1, -1,
+    1, 1, -1, 1, -1, 1, -1, -1, -1, -1,
+    -1, 1, 1, -1, -1, 1, -1, 1, -1, 1,
+    1, 1, 1,
+], dtype=complex)
+
+
+def _sequence_to_spectrum(sequence: np.ndarray, fft_size: int) -> np.ndarray:
+    """Place a -26..26 subcarrier sequence into an ``fft_size`` FFT input."""
+    if sequence.size != 53:
+        raise ValueError(f"expected a 53-entry subcarrier sequence, got {sequence.size}")
+    spectrum = np.zeros(fft_size, dtype=complex)
+    for offset, value in zip(range(-26, 27), sequence):
+        spectrum[offset % fft_size] = value
+    return spectrum
+
+
+def short_training_field(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
+    """Time-domain short training field: 160 samples (10 x 16) at 20 MHz."""
+    spectrum = _sequence_to_spectrum(_STF_SEQUENCE, config.fft_size)
+    base = np.fft.ifft(spectrum) * np.sqrt(config.fft_size / 12.0)
+    # The STF is periodic with period fft_size/4 = 16 samples; two and a half
+    # base symbols give the standard 160-sample field.
+    repeated = np.tile(base, 3)[: config.fft_size * 2 + config.fft_size // 2]
+    return repeated
+
+
+def long_training_field(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
+    """Time-domain long training field: 160 samples (32-sample CP + 2 symbols)."""
+    spectrum = _sequence_to_spectrum(_LTF_SEQUENCE, config.fft_size)
+    symbol = np.fft.ifft(spectrum) * np.sqrt(config.fft_size / 52.0)
+    cyclic_prefix = symbol[-config.fft_size // 2:]
+    return np.concatenate([cyclic_prefix, symbol, symbol])
+
+
+def legacy_preamble(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
+    """Full 802.11a/g legacy preamble: STF followed by LTF (320 samples)."""
+    return np.concatenate([short_training_field(config), long_training_field(config)])
+
+
+def stf_period(config: OfdmConfig = OfdmConfig()) -> int:
+    """Period (samples) of the STF's repeating pattern — 16 at 20 MHz."""
+    return config.fft_size // 4

@@ -1,0 +1,97 @@
+"""Capture-buffer assembly.
+
+The WARP prototype samples 20 MHz of bandwidth for 0.4 ms at a time and ships
+each buffer to the host.  ``SampleBuffer`` builds such buffers: it places one
+or more packets' worth of per-antenna samples at chosen offsets inside a
+buffer of idle (noise-only) samples, which is what the Schmidl–Cox detector
+then has to find.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_CAPTURE_DURATION_S, DEFAULT_SAMPLE_RATE_HZ
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_positive
+
+
+class SampleBuffer:
+    """Assemble fixed-length multi-antenna capture buffers.
+
+    Parameters
+    ----------
+    num_antennas:
+        Number of antenna rows.
+    duration_s / sample_rate_hz:
+        Buffer length; defaults to the prototype's 0.4 ms at 20 MHz
+        (8000 samples).
+    noise_floor_power:
+        Power of the idle-air noise filling the buffer outside packets
+        (watts).  Zero gives a silent buffer.
+    """
+
+    def __init__(self, num_antennas: int,
+                 duration_s: float = DEFAULT_CAPTURE_DURATION_S,
+                 sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ,
+                 noise_floor_power: float = 0.0,
+                 rng: RngLike = None):
+        if num_antennas < 1:
+            raise ValueError("num_antennas must be at least 1")
+        require_positive(duration_s, "duration_s")
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        if noise_floor_power < 0:
+            raise ValueError("noise_floor_power must be non-negative")
+        self.num_antennas = int(num_antennas)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.num_samples = int(round(duration_s * sample_rate_hz))
+        if self.num_samples < 1:
+            raise ValueError("buffer duration too short for the sample rate")
+        self.noise_floor_power = float(noise_floor_power)
+        self._rng = ensure_rng(rng)
+        self._placements: List[Tuple[int, np.ndarray]] = []
+
+    def place(self, antenna_samples: np.ndarray, offset: Optional[int] = None) -> int:
+        """Place a packet's (num_antennas, T) samples at ``offset`` in the buffer.
+
+        A ``None`` offset picks a random position that fits.  Returns the
+        offset used.  Overlapping placements simply add (co-channel
+        interference), which is physically what would happen on air.
+        """
+        antenna_samples = np.asarray(antenna_samples, dtype=complex)
+        if antenna_samples.ndim != 2 or antenna_samples.shape[0] != self.num_antennas:
+            raise ValueError(
+                f"expected ({self.num_antennas}, T) samples, got {antenna_samples.shape}")
+        length = antenna_samples.shape[1]
+        if length > self.num_samples:
+            raise ValueError(
+                f"packet of {length} samples does not fit in a buffer of {self.num_samples}")
+        if offset is None:
+            offset = int(self._rng.integers(0, self.num_samples - length + 1))
+        if not 0 <= offset <= self.num_samples - length:
+            raise ValueError(f"offset {offset} leaves no room for {length} samples")
+        self._placements.append((offset, antenna_samples))
+        return offset
+
+    def assemble(self) -> np.ndarray:
+        """Return the (num_antennas, num_samples) buffer with all placements summed."""
+        if self.noise_floor_power > 0:
+            sigma = np.sqrt(self.noise_floor_power / 2.0)
+            buffer = (self._rng.normal(0.0, sigma, (self.num_antennas, self.num_samples))
+                      + 1j * self._rng.normal(0.0, sigma, (self.num_antennas, self.num_samples)))
+        else:
+            buffer = np.zeros((self.num_antennas, self.num_samples), dtype=complex)
+        for offset, samples in self._placements:
+            buffer[:, offset:offset + samples.shape[1]] += samples
+        return buffer
+
+    def clear(self) -> None:
+        """Remove all placements (the noise floor is regenerated on assemble)."""
+        self._placements.clear()
+
+    @property
+    def placements(self) -> List[Tuple[int, int]]:
+        """List of (offset, length) pairs for the packets placed so far."""
+        return [(offset, samples.shape[1]) for offset, samples in self._placements]

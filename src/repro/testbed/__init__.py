@@ -1,0 +1,14 @@
+"""The simulated testbed: the Figure 4 office, its clients, and capture generation."""
+
+from repro.testbed.environment import TestbedEnvironment, figure4_environment
+from repro.testbed.clients import SoekrisClient, make_clients
+from repro.testbed.scenario import TestbedSimulator, SimulatorConfig
+
+__all__ = [
+    "TestbedEnvironment",
+    "figure4_environment",
+    "SoekrisClient",
+    "make_clients",
+    "TestbedSimulator",
+    "SimulatorConfig",
+]

@@ -1,0 +1,194 @@
+"""Capture generation: the glue between the testbed and the SecureAngle pipeline.
+
+``TestbedSimulator`` stands in for everything that happens between a client
+pressing "send" and the access point holding a buffer of raw samples: the ray
+tracer finds the propagation paths from the transmitter's position, the
+environment dynamics evolve them to the requested capture time, the array
+channel turns them into per-antenna signals, and the (imperfect) array
+receiver digitises them.  Experiments and applications then feed the resulting
+:class:`~repro.hardware.capture.Capture` objects to the SecureAngle pipeline
+exactly as the real prototype feeds buffered WARP samples to Matlab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arrays.geometry import AntennaArray
+from repro.attacks.attacker import Attacker
+from repro.channel.channel import ArrayChannel, ChannelConfig
+from repro.channel.dynamics import DynamicsConfig, EnvironmentDynamics
+from repro.channel.raytracer import RayTracer
+from repro.geometry.point import Point
+from repro.hardware.capture import Capture
+from repro.hardware.receiver import ArrayReceiver, ReceiverConfig
+from repro.hardware.reference import CalibrationSource
+from repro.calibration.procedure import calibrate_receiver
+from repro.calibration.table import CalibrationTable
+from repro.mac.frames import Dot11Frame
+from repro.phy.packet import make_packet_waveform
+from repro.testbed.environment import TestbedEnvironment
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Knobs of the end-to-end capture simulation."""
+
+    channel: ChannelConfig = ChannelConfig()
+    receiver: ReceiverConfig = ReceiverConfig()
+    dynamics: DynamicsConfig = DynamicsConfig()
+    #: Maximum number of reflected paths kept per capture.
+    max_reflections: int = 6
+    #: Number of OFDM payload symbols per generated packet.
+    payload_symbols: int = 20
+    #: Default transmit power when the transmitter does not specify one.
+    default_tx_power_dbm: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.max_reflections < 0:
+            raise ValueError("max_reflections must be non-negative")
+        if self.payload_symbols < 1:
+            raise ValueError("payload_symbols must be at least 1")
+
+
+class TestbedSimulator:
+    """Simulate one access point's view of the testbed."""
+
+    def __init__(self, environment: TestbedEnvironment, array: AntennaArray,
+                 ap_position: Optional[Point] = None, orientation_deg: float = 0.0,
+                 config: SimulatorConfig = SimulatorConfig(), rng: RngLike = None):
+        self.environment = environment
+        self.array = array
+        self.ap_position = ap_position if ap_position is not None else environment.ap_position
+        self.orientation_deg = float(orientation_deg)
+        self.config = config
+        self._rng = ensure_rng(rng)
+        self.raytracer = RayTracer(
+            environment.floorplan,
+            frequency_hz=config.channel.carrier_frequency_hz,
+            max_reflections=config.max_reflections,
+        )
+        self.channel = ArrayChannel(array, orientation_deg=orientation_deg,
+                                    config=config.channel, rng=spawn_rng(self._rng, 11))
+        self.receiver = ArrayReceiver(array, config=config.receiver,
+                                      rng=spawn_rng(self._rng, 12))
+        self.dynamics = EnvironmentDynamics(config.dynamics, rng=spawn_rng(self._rng, 13))
+        self.calibration_source = CalibrationSource(num_outputs=array.num_elements)
+        self._calibration: Optional[CalibrationTable] = None
+
+    # -------------------------------------------------------------- calibration
+    def calibration_table(self, num_samples: int = 4096) -> CalibrationTable:
+        """Measure (and cache) the receiver's calibration table."""
+        if self._calibration is None:
+            self._calibration = calibrate_receiver(
+                self.receiver, self.calibration_source, num_samples=num_samples,
+                rng=spawn_rng(self._rng, 14))
+        return self._calibration
+
+    # ------------------------------------------------------------------ capture
+    def capture_from_position(self, position: Point, frame: Optional[Dot11Frame] = None,
+                              tx_power_dbm: Optional[float] = None,
+                              elapsed_s: float = 0.0,
+                              attacker: Optional[Attacker] = None,
+                              timestamp_s: Optional[float] = None,
+                              metadata: Optional[dict] = None) -> Capture:
+        """Simulate one packet transmitted from ``position`` and captured by the AP.
+
+        Parameters
+        ----------
+        position:
+            Transmitter position in the floor plan.
+        frame:
+            Optional MAC frame carried by the packet (its bits go into the
+            payload and its source address is recorded in the capture metadata).
+        tx_power_dbm:
+            Transmit power; defaults to the simulator's configured default.
+        elapsed_s:
+            Time since the reference capture — the environment dynamics evolve
+            reflections accordingly (Figure 6's time axis).
+        attacker:
+            When the transmitter is an attacker, its antenna model reshapes the
+            per-path gains (directional antennas boost/suppress paths).
+        timestamp_s:
+            Capture timestamp; defaults to ``elapsed_s``.
+        metadata:
+            Extra annotations to store on the capture.
+        """
+        if tx_power_dbm is None:
+            tx_power_dbm = self.config.default_tx_power_dbm
+        paths = self.raytracer.trace(position, self.ap_position)
+        if elapsed_s > 0:
+            paths = self.dynamics.paths_at(paths, elapsed_s)
+        if attacker is not None:
+            paths = attacker.shape_paths(paths)
+        packet = make_packet_waveform(frame, num_payload_symbols=self.config.payload_symbols,
+                                      rng=spawn_rng(self._rng, 21))
+        fading = self.dynamics.fast_fading_jitter(
+            len(paths), decorrelation=1.0, rng=spawn_rng(self._rng, 22))
+        signals = self.channel.propagate(packet.waveform, paths,
+                                         tx_power_dbm=tx_power_dbm, path_fading=fading,
+                                         rng=spawn_rng(self._rng, 23))
+        capture_metadata = {
+            "tx_position": position.as_tuple(),
+            "ground_truth_bearing_deg": self.ap_position.bearing_to(position),
+            "num_paths": len(paths),
+        }
+        if frame is not None:
+            capture_metadata["source_mac"] = str(frame.source)
+        if attacker is not None:
+            capture_metadata["attacker"] = attacker.name
+        if metadata:
+            capture_metadata.update(metadata)
+        return self.receiver.capture(
+            signals,
+            timestamp_s=elapsed_s if timestamp_s is None else timestamp_s,
+            metadata=capture_metadata,
+            rng=spawn_rng(self._rng, 24),
+        )
+
+    def capture_from_client(self, client_id: int, frame: Optional[Dot11Frame] = None,
+                            tx_power_dbm: Optional[float] = None,
+                            elapsed_s: float = 0.0,
+                            timestamp_s: Optional[float] = None) -> Capture:
+        """Simulate one packet from a numbered testbed client."""
+        position = self.environment.client_position(client_id)
+        capture = self.capture_from_position(
+            position, frame=frame, tx_power_dbm=tx_power_dbm,
+            elapsed_s=elapsed_s, timestamp_s=timestamp_s,
+            metadata={"client_id": client_id})
+        return capture
+
+    def capture_burst(self, client_id: int, num_packets: int,
+                      inter_packet_gap_s: float = 0.5,
+                      frame: Optional[Dot11Frame] = None) -> List[Capture]:
+        """Simulate a burst of packets from one client, spaced in time.
+
+        Used by the Figure 5 experiment (10 pseudospectra per client, each
+        from a different packet) and by signature training.
+        """
+        if num_packets < 1:
+            raise ValueError("num_packets must be at least 1")
+        if inter_packet_gap_s < 0:
+            raise ValueError("inter_packet_gap_s must be non-negative")
+        captures = []
+        for index in range(num_packets):
+            elapsed = index * inter_packet_gap_s
+            captures.append(self.capture_from_client(
+                client_id, frame=frame, elapsed_s=elapsed, timestamp_s=elapsed))
+        return captures
+
+    # ---------------------------------------------------------------- geometry
+    def expected_bearing(self, position: Point) -> float:
+        """The bearing the estimator is expected to report for ``position``.
+
+        Global bearing converted into the array's reporting convention
+        (broadside angles for linear arrays, [0, 360) local azimuth for
+        circular arrays).
+        """
+        return self.channel.expected_local_bearing(self.ap_position.bearing_to(position))
+
+    def expected_client_bearing(self, client_id: int) -> float:
+        """Expected reported bearing for a numbered client."""
+        return self.expected_bearing(self.environment.client_position(client_id))

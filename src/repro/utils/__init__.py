@@ -1,0 +1,50 @@
+"""Utility helpers: angle arithmetic, decibel conversions, RNG management."""
+
+from repro.utils.angles import (
+    angular_difference,
+    circular_mean,
+    circular_std,
+    degrees_to_radians,
+    normalize_angle_deg,
+    normalize_angle_rad,
+    radians_to_degrees,
+    wrap_to_pi,
+)
+from repro.utils.decibels import (
+    amplitude_ratio_to_db,
+    db_to_amplitude_ratio,
+    db_to_power_ratio,
+    dbm_to_watts,
+    power_ratio_to_db,
+    watts_to_dbm,
+)
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    require_finite,
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+__all__ = [
+    "angular_difference",
+    "circular_mean",
+    "circular_std",
+    "degrees_to_radians",
+    "normalize_angle_deg",
+    "normalize_angle_rad",
+    "radians_to_degrees",
+    "wrap_to_pi",
+    "amplitude_ratio_to_db",
+    "db_to_amplitude_ratio",
+    "db_to_power_ratio",
+    "dbm_to_watts",
+    "power_ratio_to_db",
+    "watts_to_dbm",
+    "ensure_rng",
+    "spawn_rng",
+    "require_finite",
+    "require_in_range",
+    "require_positive",
+    "require_positive_int",
+]

@@ -1,0 +1,51 @@
+"""Decibel and power-unit conversion helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+#: Floor used when converting zero power to dB so plots stay finite.
+_EPSILON = 1e-300
+
+
+def power_ratio_to_db(ratio: ArrayLike) -> np.ndarray:
+    """Convert a power ratio to decibels: ``10 log10(ratio)``."""
+    ratio = np.asarray(ratio, dtype=float)
+    if np.any(ratio < 0):
+        raise ValueError("power ratios must be non-negative")
+    return 10.0 * np.log10(np.maximum(ratio, _EPSILON))
+
+
+def db_to_power_ratio(db: ArrayLike) -> np.ndarray:
+    """Convert decibels to a power ratio: ``10 ** (db / 10)``."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def amplitude_ratio_to_db(ratio: ArrayLike) -> np.ndarray:
+    """Convert an amplitude (voltage) ratio to decibels: ``20 log10(ratio)``."""
+    ratio = np.asarray(ratio, dtype=float)
+    if np.any(ratio < 0):
+        raise ValueError("amplitude ratios must be non-negative")
+    return 20.0 * np.log10(np.maximum(ratio, _EPSILON))
+
+
+def db_to_amplitude_ratio(db: ArrayLike) -> np.ndarray:
+    """Convert decibels to an amplitude (voltage) ratio: ``10 ** (db / 20)``."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+
+
+def dbm_to_watts(dbm: ArrayLike) -> np.ndarray:
+    """Convert a power in dBm to watts."""
+    return np.power(10.0, (np.asarray(dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: ArrayLike) -> np.ndarray:
+    """Convert a power in watts to dBm."""
+    watts = np.asarray(watts, dtype=float)
+    if np.any(watts < 0):
+        raise ValueError("power in watts must be non-negative")
+    return 10.0 * np.log10(np.maximum(watts, _EPSILON)) + 30.0

@@ -1,0 +1,44 @@
+"""Random-number-generator management.
+
+Every stochastic component in the reproduction accepts either a seed or a
+``numpy.random.Generator``; these helpers normalise the two forms so
+experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    ``None`` produces a freshly seeded generator, an ``int`` seeds a new
+    generator deterministically, and an existing generator is returned as-is.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected None, int, or numpy Generator, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: RngLike, stream: Optional[int] = None) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when one experiment needs several independent random streams (for
+    example per-client channels) that must not interact, while remaining
+    reproducible from a single seed.
+    """
+    parent = ensure_rng(rng)
+    if stream is None:
+        seed = int(parent.integers(0, 2**63 - 1))
+    else:
+        seed = int(parent.integers(0, 2**31 - 1)) ^ (int(stream) * 0x9E3779B1 & 0x7FFFFFFF)
+    return np.random.default_rng(seed)

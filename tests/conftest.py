@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+The heavier objects (testbed environment, simulators, calibration tables) are
+session-scoped: building them once keeps the end-to-end tests fast while still
+exercising the real construction paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aoa import AoAEstimator, EstimatorConfig
+from repro.arrays import OctagonalArray, UniformLinearArray
+from repro.testbed import TestbedSimulator, figure4_environment
+
+
+@pytest.fixture(scope="session")
+def environment():
+    """The Figure 4 testbed environment."""
+    return figure4_environment()
+
+
+@pytest.fixture(scope="session")
+def octagon_array():
+    """The prototype's circular (octagonal) 8-antenna array."""
+    return OctagonalArray()
+
+
+@pytest.fixture(scope="session")
+def linear_array():
+    """The prototype's linear 8-antenna array."""
+    return UniformLinearArray(num_elements=8)
+
+
+@pytest.fixture(scope="session")
+def circular_simulator(environment, octagon_array):
+    """A testbed simulator with the circular array at the default AP position."""
+    return TestbedSimulator(environment, octagon_array, rng=2024)
+
+
+@pytest.fixture(scope="session")
+def circular_calibration(circular_simulator):
+    """Calibration table for the circular-array simulator."""
+    return circular_simulator.calibration_table()
+
+
+@pytest.fixture(scope="session")
+def circular_estimator(octagon_array):
+    """A default MUSIC estimator for the circular array."""
+    return AoAEstimator(octagon_array, EstimatorConfig())
+
+
+@pytest.fixture(scope="session")
+def linear_simulator(environment, linear_array):
+    """A testbed simulator with the linear array at the default AP position."""
+    return TestbedSimulator(environment, linear_array, rng=2025)
+
+
+@pytest.fixture(scope="session")
+def linear_calibration(linear_simulator):
+    """Calibration table for the linear-array simulator."""
+    return linear_simulator.calibration_table()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic per-test random generator."""
+    return np.random.default_rng(1234)

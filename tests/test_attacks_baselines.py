@@ -1,0 +1,170 @@
+"""Tests for attacker models and the RSS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.attacker import (
+    AntennaArrayAttacker,
+    DirectionalAntennaAttacker,
+    OmnidirectionalAttacker,
+)
+from repro.attacks.spoofing_attack import SpoofingAttack
+from repro.baselines.radar_localization import RadarLocalizer, RssFingerprint
+from repro.baselines.rss_signalprint import RssSignalprint, RssSpoofingDetector
+from repro.channel.path import PathKind, PropagationPath
+from repro.geometry.point import Point
+from repro.mac.address import MacAddress
+
+
+def _paths():
+    return [
+        PropagationPath(aoa_deg=0.0, length_m=10.0, gain_db=-60.0,
+                        points=(Point(10.0, 0.0), Point(0.0, 0.0))),
+        PropagationPath(aoa_deg=90.0, length_m=15.0, gain_db=-70.0, kind=PathKind.REFLECTED,
+                        points=(Point(10.0, 0.0), Point(5.0, 8.0), Point(0.0, 0.0))),
+    ]
+
+
+class TestAttackers:
+    def test_omnidirectional_attacker_leaves_paths_unchanged(self):
+        attacker = OmnidirectionalAttacker(position=Point(10.0, 0.0),
+                                           address=MacAddress.random(rng=1))
+        assert attacker.shape_paths(_paths()) == _paths()
+
+    def test_directional_attacker_boosts_the_aimed_path(self):
+        attacker = DirectionalAntennaAttacker(
+            position=Point(10.0, 0.0), address=MacAddress.random(rng=2),
+            aim_point=Point(0.0, 0.0), beamwidth_deg=30.0,
+            boresight_gain_db=9.0, sidelobe_suppression_db=15.0)
+        shaped = attacker.shape_paths(_paths())
+        # Direct path (towards the AP) gains, the reflection (via a bounce off
+        # to the side) is suppressed.
+        assert shaped[0].gain_db == pytest.approx(-60.0 + 9.0)
+        assert shaped[1].gain_db == pytest.approx(-70.0 - 15.0)
+
+    def test_directional_attacker_without_aim_point_is_omnidirectional(self):
+        attacker = DirectionalAntennaAttacker(position=Point(10.0, 0.0),
+                                              address=MacAddress.random(rng=3))
+        assert attacker.shape_paths(_paths()) == _paths()
+
+    def test_array_attacker_can_aim_at_a_reflector(self):
+        attacker = AntennaArrayAttacker(
+            position=Point(10.0, 0.0), address=MacAddress.random(rng=4),
+            aim_point=Point(0.0, 0.0))
+        attacker.aim_at_reflector(Point(5.0, 8.0))
+        shaped = attacker.shape_paths(_paths())
+        # Now the reflection is boosted and the direct path suppressed...
+        assert shaped[1].gain_db > _paths()[1].gain_db
+        assert shaped[0].gain_db < _paths()[0].gain_db
+        # ...but the arrival angles at the AP are untouched: the attacker
+        # cannot move the reflector (the paper's core argument).
+        assert shaped[0].aoa_deg == _paths()[0].aoa_deg
+        assert shaped[1].aoa_deg == _paths()[1].aoa_deg
+
+    def test_beamwidth_validation(self):
+        with pytest.raises(ValueError):
+            DirectionalAntennaAttacker(position=Point(0.0, 0.0),
+                                       address=MacAddress.random(rng=5),
+                                       beamwidth_deg=0.0)
+
+
+class TestSpoofingAttack:
+    def test_frames_claim_the_victims_address(self):
+        attacker = OmnidirectionalAttacker(position=Point(5.0, 5.0),
+                                           address=MacAddress.random(rng=6))
+        victim = MacAddress.random(rng=7)
+        ap = MacAddress.random(rng=8)
+        attack = SpoofingAttack(attacker=attacker, victim_address=victim, ap_address=ap,
+                                num_frames=5)
+        frames = attack.frames()
+        assert len(frames) == 5
+        assert all(frame.source == victim for frame in frames)
+        assert all(frame.destination == ap for frame in frames)
+        assert attack.transmitter_position == attacker.position
+
+    def test_sequence_numbers_increment(self):
+        attacker = OmnidirectionalAttacker(position=Point(5.0, 5.0),
+                                           address=MacAddress.random(rng=9))
+        attack = SpoofingAttack(attacker=attacker, victim_address=MacAddress.random(rng=10),
+                                ap_address=MacAddress.random(rng=11), num_frames=3,
+                                initial_sequence=4094)
+        numbers = [frame.sequence_number for frame in attack.iter_frames()]
+        assert numbers == [4094, 4095, 0]
+
+    def test_validation(self):
+        attacker = OmnidirectionalAttacker(position=Point(5.0, 5.0),
+                                           address=MacAddress.random(rng=12))
+        with pytest.raises(ValueError):
+            SpoofingAttack(attacker=attacker, victim_address=MacAddress.random(rng=13),
+                           ap_address=MacAddress.random(rng=14), num_frames=0)
+
+
+class TestRssSignalprints:
+    def test_difference_metrics(self):
+        a = RssSignalprint(np.array([-50.0, -60.0, -70.0]))
+        b = RssSignalprint(np.array([-52.0, -58.0, -77.0]))
+        assert a.max_difference_db(b) == pytest.approx(7.0)
+        assert a.mean_difference_db(b) == pytest.approx((2 + 2 + 7) / 3)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RssSignalprint(np.array([-50.0])).max_difference_db(
+                RssSignalprint(np.array([-50.0, -60.0])))
+
+    def test_detector_matches_similar_prints(self):
+        detector = RssSpoofingDetector(match_threshold_db=6.0)
+        address = MacAddress.random(rng=15)
+        detector.train(address, RssSignalprint(np.array([-55.0])))
+        assert detector.matches(address, RssSignalprint(np.array([-58.0])))
+        assert not detector.matches(address, RssSignalprint(np.array([-70.0])))
+        assert not detector.matches(MacAddress.random(rng=16), RssSignalprint(np.array([-55.0])))
+        assert detector.difference_db(address, RssSignalprint(np.array([-58.0]))) == pytest.approx(3.0)
+
+    def test_detector_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RssSpoofingDetector(match_threshold_db=0.0)
+
+
+class TestRadarLocalizer:
+    def _radio_map(self):
+        # A simple synthetic radio map: RSS falls off with distance from two APs.
+        aps = [Point(0.0, 0.0), Point(10.0, 0.0)]
+        fingerprints = []
+        for x in range(0, 11, 2):
+            for y in range(0, 11, 2):
+                position = Point(float(x), float(y))
+                rss = [-40.0 - 20.0 * np.log10(max(position.distance_to(ap), 1.0)) for ap in aps]
+                fingerprints.append(RssFingerprint(position, np.array(rss)))
+        return aps, fingerprints
+
+    def test_locates_a_training_point_exactly_with_k1(self):
+        aps, fingerprints = self._radio_map()
+        localizer = RadarLocalizer(k=1)
+        localizer.train(fingerprints)
+        target = fingerprints[10]
+        estimate = localizer.locate(target.rss_dbm)
+        assert estimate.distance_to(target.position) < 1e-9
+
+    def test_locates_an_intermediate_point_approximately(self):
+        aps, fingerprints = self._radio_map()
+        localizer = RadarLocalizer(k=3)
+        localizer.train(fingerprints)
+        true_position = Point(5.0, 5.0)
+        rss = [-40.0 - 20.0 * np.log10(max(true_position.distance_to(ap), 1.0)) for ap in aps]
+        error = localizer.localization_error_m(rss, true_position)
+        assert error < 3.0
+
+    def test_untrained_localizer_rejected(self):
+        with pytest.raises(ValueError):
+            RadarLocalizer().locate([-50.0])
+
+    def test_dimension_mismatch_rejected(self):
+        _, fingerprints = self._radio_map()
+        localizer = RadarLocalizer()
+        localizer.train(fingerprints)
+        with pytest.raises(ValueError):
+            localizer.locate([-50.0])
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            RadarLocalizer(k=0)

@@ -1,0 +1,177 @@
+"""Tests for environment dynamics, noise helpers, and the array channel."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.geometry import OctagonalArray, UniformLinearArray
+from repro.channel.channel import ArrayChannel, ChannelConfig, fractional_delay, phase_random_walk
+from repro.channel.dynamics import DynamicsConfig, EnvironmentDynamics
+from repro.channel.noise import awgn, measure_snr_db, noise_power_for_snr
+from repro.channel.path import PathKind, PropagationPath
+
+
+def _paths():
+    direct = PropagationPath(aoa_deg=40.0, length_m=5.0, gain_db=-55.0)
+    reflection = PropagationPath(aoa_deg=120.0, length_m=9.0, gain_db=-66.0,
+                                 kind=PathKind.REFLECTED, reflector="wall")
+    return [direct, reflection]
+
+
+class TestEnvironmentDynamics:
+    def test_zero_elapsed_time_returns_identical_paths(self):
+        dynamics = EnvironmentDynamics(rng=3)
+        paths = _paths()
+        assert dynamics.paths_at(paths, 0.0) == paths
+
+    def test_direct_path_drifts_less_than_reflections(self):
+        dynamics = EnvironmentDynamics(rng=3)
+        paths = _paths()
+        drifted_direct = []
+        drifted_reflection = []
+        for elapsed in (10.0, 1000.0, 86400.0):
+            evolved = dynamics.paths_at(paths, elapsed)
+            drifted_direct.append(abs(evolved[0].aoa_deg - paths[0].aoa_deg))
+            drifted_reflection.append(abs(evolved[1].aoa_deg - paths[1].aoa_deg))
+        assert max(drifted_direct) < 3.0
+        assert max(drifted_reflection) > max(drifted_direct)
+
+    def test_evolution_is_deterministic_per_elapsed_time(self):
+        dynamics = EnvironmentDynamics(rng=3)
+        paths = _paths()
+        first = dynamics.paths_at(paths, 1000.0)
+        second = dynamics.paths_at(paths, 1000.0)
+        assert first == second
+
+    def test_longer_elapsed_time_gives_larger_expected_drift(self):
+        config = DynamicsConfig()
+        dynamics = EnvironmentDynamics(config, rng=3)
+        assert dynamics._drift_severity(1.0) < dynamics._drift_severity(86400.0)
+        assert dynamics._drift_severity(86400.0) <= 1.0
+
+    def test_decorrelation_monotone_in_gap(self):
+        dynamics = EnvironmentDynamics(rng=3)
+        assert dynamics.decorrelation(0.0) == pytest.approx(0.0)
+        assert dynamics.decorrelation(0.01) < dynamics.decorrelation(1.0)
+        assert dynamics.decorrelation(100.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fast_fading_factors_have_unit_mean_amplitude(self):
+        dynamics = EnvironmentDynamics(rng=3)
+        factors = dynamics.fast_fading_jitter(1000, decorrelation=1.0, rng=5)
+        assert np.mean(np.abs(factors)) == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_arguments_rejected(self):
+        dynamics = EnvironmentDynamics(rng=3)
+        with pytest.raises(ValueError):
+            dynamics.paths_at(_paths(), -1.0)
+        with pytest.raises(ValueError):
+            dynamics.decorrelation(-1.0)
+        with pytest.raises(ValueError):
+            dynamics.fast_fading_jitter(0, 0.5)
+        with pytest.raises(ValueError):
+            DynamicsConfig(coherence_time_s=0.0)
+
+
+class TestNoise:
+    def test_noise_power_for_snr(self):
+        assert noise_power_for_snr(1.0, 10.0) == pytest.approx(0.1)
+        assert noise_power_for_snr(2.0, 3.0) == pytest.approx(2.0 / 10**0.3)
+
+    def test_awgn_power_matches_request(self):
+        noise = awgn((4, 20000), noise_power=0.25, rng=7)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.25, rel=0.05)
+
+    def test_awgn_zero_power_is_silent(self):
+        noise = awgn((2, 10), noise_power=0.0, rng=7)
+        assert np.all(noise == 0)
+
+    def test_measured_snr_matches_injected_snr(self):
+        rng = np.random.default_rng(0)
+        signal = np.exp(1j * rng.uniform(0, 2 * np.pi, 50000))
+        noise = awgn(signal.shape, noise_power_for_snr(1.0, 20.0), rng=1)
+        assert measure_snr_db(signal, signal + noise) == pytest.approx(20.0, abs=0.5)
+
+
+class TestFractionalDelay:
+    def test_integer_delay_shifts_samples(self):
+        rng = np.random.default_rng(0)
+        waveform = rng.normal(size=256) + 1j * rng.normal(size=256)
+        delayed = fractional_delay(waveform, 3.0)
+        np.testing.assert_allclose(delayed[3:100], waveform[:97], atol=1e-9)
+
+    def test_zero_delay_is_identity(self):
+        waveform = np.arange(16, dtype=complex)
+        np.testing.assert_allclose(fractional_delay(waveform, 0.0), waveform)
+
+    def test_delay_preserves_energy(self):
+        rng = np.random.default_rng(1)
+        waveform = rng.normal(size=512) + 1j * rng.normal(size=512)
+        delayed = fractional_delay(waveform, 0.37)
+        assert np.sum(np.abs(delayed) ** 2) == pytest.approx(np.sum(np.abs(waveform) ** 2))
+
+    def test_phase_random_walk_unit_magnitude(self):
+        walk = phase_random_walk(1000, 0.05, rng=2)
+        np.testing.assert_allclose(np.abs(walk), 1.0, atol=1e-12)
+
+    def test_phase_random_walk_zero_step_is_constant(self):
+        walk = phase_random_walk(100, 0.0, rng=2)
+        np.testing.assert_allclose(walk, walk[0])
+
+
+class TestArrayChannel:
+    def test_output_shape_and_power_scaling(self):
+        array = OctagonalArray()
+        channel = ArrayChannel(array, rng=1)
+        waveform = np.ones(512, dtype=complex)
+        low = channel.propagate(waveform, _paths(), tx_power_dbm=0.0, rng=2)
+        high = channel.propagate(waveform, _paths(), tx_power_dbm=20.0, rng=2)
+        assert low.shape == (8, 512)
+        ratio = np.mean(np.abs(high) ** 2) / np.mean(np.abs(low) ** 2)
+        assert 10.0 * np.log10(ratio) == pytest.approx(20.0, abs=1.0)
+
+    def test_single_path_has_rank_one_spatial_structure(self):
+        array = OctagonalArray()
+        channel = ArrayChannel(array, config=ChannelConfig(path_phase_walk_std_rad=0.0), rng=1)
+        waveform = np.exp(1j * np.linspace(0, 20 * np.pi, 1024))
+        received = channel.propagate(waveform, [_paths()[0]], rng=2)
+        covariance = received @ received.conj().T
+        eigenvalues = np.sort(np.linalg.eigvalsh(covariance))[::-1]
+        assert eigenvalues[1] / eigenvalues[0] < 1e-9
+
+    def test_single_path_phase_structure_matches_steering_vector(self):
+        array = OctagonalArray()
+        channel = ArrayChannel(array, config=ChannelConfig(path_phase_walk_std_rad=0.0), rng=1)
+        path = _paths()[0]
+        waveform = np.ones(256, dtype=complex)
+        received = channel.propagate(waveform, [path], rng=2)
+        expected = array.steering_vector(path.aoa_deg)
+        measured = received[:, 10] / received[0, 10]
+        np.testing.assert_allclose(measured, expected / expected[0], atol=1e-9)
+
+    def test_orientation_rotates_the_apparent_bearing(self):
+        array = OctagonalArray()
+        rotated = ArrayChannel(array, orientation_deg=90.0,
+                               config=ChannelConfig(path_phase_walk_std_rad=0.0), rng=1)
+        path = _paths()[0]
+        waveform = np.ones(128, dtype=complex)
+        received = rotated.propagate(waveform, [path], rng=2)
+        expected = array.steering_vector(path.aoa_deg - 90.0)
+        measured = received[:, 5] / received[0, 5]
+        np.testing.assert_allclose(measured, expected / expected[0], atol=1e-9)
+
+    def test_expected_local_bearing_for_circular_and_linear_arrays(self):
+        circular = ArrayChannel(OctagonalArray(), orientation_deg=30.0)
+        assert circular.expected_local_bearing(100.0) == pytest.approx(70.0)
+        linear = ArrayChannel(UniformLinearArray(8), orientation_deg=0.0)
+        # Broadside (local azimuth 90) maps to 0 degrees; the back half folds.
+        assert linear.expected_local_bearing(90.0) == pytest.approx(0.0)
+        assert linear.expected_local_bearing(270.0) == pytest.approx(0.0)
+        assert linear.expected_local_bearing(30.0) == pytest.approx(60.0)
+
+    def test_argument_validation(self):
+        channel = ArrayChannel(OctagonalArray(), rng=1)
+        with pytest.raises(ValueError):
+            channel.propagate(np.ones((2, 4)), _paths())
+        with pytest.raises(ValueError):
+            channel.propagate(np.ones(16), [])
+        with pytest.raises(ValueError):
+            channel.propagate(np.ones(16), _paths(), path_fading=np.ones(3))

@@ -1,0 +1,49 @@
+"""Tests for the physical constants module."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestWavelength:
+    def test_wavelength_at_default_carrier_is_about_12_cm(self):
+        assert constants.wavelength() == pytest.approx(0.1225, abs=0.001)
+
+    def test_half_wavelength_matches_the_papers_antenna_spacing(self):
+        # Section 3: the linear arrangement spaces antennas at 6.13 cm.
+        assert constants.half_wavelength() == pytest.approx(0.0613, abs=0.0005)
+
+    def test_wavelength_scales_inversely_with_frequency(self):
+        assert constants.wavelength(1e9) == pytest.approx(2 * constants.wavelength(2e9))
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            constants.wavelength(0.0)
+        with pytest.raises(ValueError):
+            constants.wavelength(-1e9)
+
+
+class TestThermalNoise:
+    def test_noise_floor_in_20_mhz_is_about_minus_101_dbm(self):
+        assert constants.thermal_noise_power_dbm(20e6) == pytest.approx(-100.96, abs=0.1)
+
+    def test_noise_floor_scales_with_bandwidth(self):
+        narrow = constants.thermal_noise_power_dbm(1e6)
+        wide = constants.thermal_noise_power_dbm(10e6)
+        assert wide - narrow == pytest.approx(10.0, abs=0.01)
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            constants.thermal_noise_power_dbm(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_noise_power_dbm(20e6, temperature_k=-1.0)
+
+
+def test_prototype_constants_match_the_paper():
+    assert constants.DEFAULT_NUM_ANTENNAS == 8
+    assert constants.DEFAULT_SAMPLE_RATE_HZ == pytest.approx(20e6)
+    assert constants.DEFAULT_CAPTURE_DURATION_S == pytest.approx(0.4e-3)
+    assert constants.OCTAGON_SIDE_LENGTH_M == pytest.approx(0.047)
+    assert constants.CALIBRATION_ATTENUATION_DB == pytest.approx(36.0)

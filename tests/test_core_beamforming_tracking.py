@@ -1,0 +1,159 @@
+"""Tests for the Section 5 extensions: downlink beamforming and mobility tracking."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.geometry import OctagonalArray, UniformLinearArray
+from repro.channel.path import PathKind, PropagationPath
+from repro.core.beamforming import (
+    beamforming_gain_db,
+    downlink_channel_vector,
+    eigen_weights,
+    received_power,
+    steering_weights,
+)
+from repro.core.tracking import BearingTracker, MobilityTracker
+from repro.geometry.point import Point
+
+
+class TestBeamformingWeights:
+    def test_steering_weights_are_unit_norm(self):
+        array = OctagonalArray()
+        weights = steering_weights(array, 123.0)
+        assert np.linalg.norm(weights) == pytest.approx(1.0)
+
+    def test_steering_at_the_true_bearing_achieves_full_array_gain(self):
+        array = OctagonalArray()
+        path = PropagationPath(aoa_deg=70.0, length_m=5.0, gain_db=-50.0)
+        channel = downlink_channel_vector(array, [path])
+        gain = beamforming_gain_db(steering_weights(array, 70.0), channel)
+        # Eight-element array: 10*log10(8) ~ 9 dB over a single element.
+        assert gain == pytest.approx(9.03, abs=0.2)
+
+    def test_steering_away_from_the_client_loses_power(self):
+        array = OctagonalArray()
+        path = PropagationPath(aoa_deg=70.0, length_m=5.0, gain_db=-50.0)
+        channel = downlink_channel_vector(array, [path])
+        on_target = beamforming_gain_db(steering_weights(array, 70.0), channel)
+        off_target = beamforming_gain_db(steering_weights(array, 200.0), channel)
+        assert on_target - off_target > 6.0
+
+    def test_eigen_weights_match_single_path_steering(self):
+        array = OctagonalArray()
+        path = PropagationPath(aoa_deg=70.0, length_m=5.0, gain_db=-50.0)
+        channel = downlink_channel_vector(array, [path])
+        covariance = np.outer(channel, channel.conj())
+        eigen_gain = beamforming_gain_db(eigen_weights(covariance), channel)
+        steering_gain = beamforming_gain_db(steering_weights(array, 70.0), channel)
+        assert eigen_gain == pytest.approx(steering_gain, abs=0.1)
+
+    def test_eigen_weights_beat_steering_under_strong_multipath(self):
+        array = OctagonalArray()
+        paths = [
+            PropagationPath(aoa_deg=70.0, length_m=5.0, gain_db=-50.0),
+            PropagationPath(aoa_deg=200.0, length_m=7.0, gain_db=-51.0,
+                            kind=PathKind.REFLECTED),
+        ]
+        channel = downlink_channel_vector(array, paths)
+        covariance = np.outer(channel, channel.conj())
+        eigen_gain = beamforming_gain_db(eigen_weights(covariance), channel)
+        steering_gain = beamforming_gain_db(steering_weights(array, 70.0), channel)
+        assert eigen_gain >= steering_gain - 1e-6
+
+    def test_received_power_validation(self):
+        with pytest.raises(ValueError):
+            received_power(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            received_power(np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError):
+            downlink_channel_vector(OctagonalArray(), [])
+        with pytest.raises(ValueError):
+            eigen_weights(np.ones((2, 3)))
+
+
+class TestBearingTracker:
+    def test_first_update_initialises_the_track(self):
+        tracker = BearingTracker()
+        point = tracker.update(100.0, 0.0)
+        assert point.smoothed_bearing_deg == pytest.approx(100.0)
+        assert tracker.bearing_deg == pytest.approx(100.0)
+
+    def test_smoothing_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        tracker = BearingTracker(alpha=0.3, beta=0.05)
+        truth = 200.0
+        errors_raw, errors_smoothed = [], []
+        for index in range(50):
+            noisy = truth + rng.normal(0.0, 5.0)
+            point = tracker.update(noisy, index * 0.5)
+            errors_raw.append(abs(noisy - truth))
+            errors_smoothed.append(abs(point.smoothed_bearing_deg - truth))
+        assert np.mean(errors_smoothed[10:]) < np.mean(errors_raw[10:])
+
+    def test_outliers_are_rejected(self):
+        tracker = BearingTracker(outlier_threshold_deg=20.0)
+        tracker.update(100.0, 0.0)
+        tracker.update(101.0, 1.0)
+        point = tracker.update(250.0, 2.0)  # a reflection-locked estimate
+        assert point.rejected
+        assert abs(point.smoothed_bearing_deg - 101.0) < 10.0
+
+    def test_tracks_a_moving_client(self):
+        tracker = BearingTracker(alpha=0.7, beta=0.3, outlier_threshold_deg=90.0)
+        for index in range(30):
+            truth = 10.0 + 4.0 * index
+            tracker.update(truth, index * 0.5)
+        assert abs(tracker.bearing_deg - (10.0 + 4.0 * 29)) < 5.0
+
+    def test_handles_the_wrap_around(self):
+        tracker = BearingTracker(alpha=0.6, beta=0.2, outlier_threshold_deg=90.0)
+        bearings = [350.0, 355.0, 0.0, 5.0, 10.0]
+        for index, bearing in enumerate(bearings):
+            point = tracker.update(bearing, float(index))
+        assert abs(point.smoothed_bearing_deg - 10.0) < 10.0 or point.smoothed_bearing_deg > 350.0
+
+    def test_time_must_not_go_backwards(self):
+        tracker = BearingTracker()
+        tracker.update(10.0, 5.0)
+        with pytest.raises(ValueError):
+            tracker.update(11.0, 4.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BearingTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            BearingTracker(beta=1.0)
+        with pytest.raises(ValueError):
+            BearingTracker(outlier_threshold_deg=0.0)
+
+
+class TestMobilityTracker:
+    def _ap_positions(self):
+        return {"a": Point(0.0, 0.0), "b": Point(20.0, 0.0), "c": Point(10.0, 15.0)}
+
+    def test_tracks_a_straight_walk_with_exact_bearings(self):
+        aps = self._ap_positions()
+        tracker = MobilityTracker(aps, alpha=0.9, beta=0.3, outlier_threshold_deg=120.0)
+        truth = [Point(4.0 + 0.8 * i, 5.0 + 0.3 * i) for i in range(12)]
+        for index, position in enumerate(truth):
+            bearings = {name: ap.bearing_to(position) for name, ap in aps.items()}
+            tracker.update(bearings, index * 0.5)
+        errors = tracker.track_error_m(truth)
+        assert max(errors) < 1.5
+
+    def test_requires_two_aps(self):
+        with pytest.raises(ValueError):
+            MobilityTracker({"a": Point(0.0, 0.0)})
+        tracker = MobilityTracker(self._ap_positions())
+        with pytest.raises(ValueError):
+            tracker.update({"a": 10.0}, 0.0)
+        with pytest.raises(KeyError):
+            tracker.update({"a": 10.0, "nope": 20.0}, 0.0)
+
+    def test_track_error_length_check(self):
+        aps = self._ap_positions()
+        tracker = MobilityTracker(aps)
+        bearings = {name: ap.bearing_to(Point(5.0, 5.0)) for name, ap in aps.items()}
+        tracker.update(bearings, 0.0)
+        with pytest.raises(ValueError):
+            tracker.track_error_m([Point(5.0, 5.0), Point(6.0, 6.0)])

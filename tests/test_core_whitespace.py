@@ -1,0 +1,80 @@
+"""Tests for the whitespace-yielding application (Section 1)."""
+
+import numpy as np
+import pytest
+
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import OctagonalArray
+from repro.core.whitespace import WhitespaceYielder, YieldDecision
+
+
+@pytest.fixture()
+def yielder():
+    return WhitespaceYielder(OctagonalArray(), detection_threshold_dbm=-85.0,
+                             yield_threshold_dbm=-65.0)
+
+
+def _estimate_for_bearing(array, bearing_deg, rng=0):
+    """A genuine AoAEstimate whose strongest peak is at ``bearing_deg``."""
+    generator = np.random.default_rng(rng)
+    steering = array.steering_vector(bearing_deg)
+    signal = (generator.normal(size=400) + 1j * generator.normal(size=400)) / np.sqrt(2)
+    samples = np.outer(steering, signal)
+    samples += 1e-3 * (generator.normal(size=samples.shape)
+                       + 1j * generator.normal(size=samples.shape))
+    estimator = AoAEstimator(array, EstimatorConfig())
+    return estimator.process_samples(samples)
+
+
+class TestYieldPolicy:
+    def test_no_incumbent_means_normal_transmission(self, yielder):
+        plan = yielder.plan(None, None, intended_bearing_deg=40.0)
+        assert plan.decision is YieldDecision.TRANSMIT
+        assert plan.transmit_weights is not None
+
+    def test_weak_incumbent_below_detection_threshold_is_ignored(self, yielder):
+        array = yielder.array
+        estimate = _estimate_for_bearing(array, 200.0)
+        plan = yielder.plan(-95.0, estimate, intended_bearing_deg=40.0)
+        assert plan.decision is YieldDecision.TRANSMIT
+
+    def test_strong_incumbent_forces_yield(self, yielder):
+        array = yielder.array
+        estimate = _estimate_for_bearing(array, 200.0)
+        plan = yielder.plan(-50.0, estimate, intended_bearing_deg=40.0)
+        assert plan.decision is YieldDecision.YIELD
+        assert plan.transmit_weights is None
+        assert plan.incumbent_bearing_deg == pytest.approx(200.0, abs=2.0)
+
+    def test_moderate_incumbent_gets_a_spatial_null(self, yielder):
+        array = yielder.array
+        estimate = _estimate_for_bearing(array, 200.0)
+        plan = yielder.plan(-75.0, estimate, intended_bearing_deg=40.0)
+        assert plan.decision is YieldDecision.NULL_AND_TRANSMIT
+        assert plan.transmit_weights is not None
+        # Deep null towards the incumbent, healthy gain towards the client.
+        assert plan.null_depth_db < -20.0
+        client_gain = yielder.gain_towards(plan.transmit_weights, 40.0)
+        assert client_gain > 5.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            WhitespaceYielder(OctagonalArray(), detection_threshold_dbm=-60.0,
+                              yield_threshold_dbm=-70.0)
+
+
+class TestNullingWeights:
+    def test_null_radiates_nothing_towards_the_incumbent(self, yielder):
+        weights = yielder.nulling_weights(intended_bearing_deg=40.0,
+                                          incumbent_bearing_deg=200.0)
+        incumbent = yielder.array.steering_vector(200.0)
+        assert abs(np.sum(weights * incumbent)) < 1e-9
+        assert np.linalg.norm(weights) == pytest.approx(1.0)
+
+    def test_coincident_bearings_are_rejected(self, yielder):
+        with pytest.raises(ValueError):
+            yielder.nulling_weights(intended_bearing_deg=40.0, incumbent_bearing_deg=40.0)
+
+    def test_weight_size_validation(self, yielder):
+        with pytest.raises(ValueError):
+            yielder.null_depth_db(np.ones(3), 100.0)

@@ -1,0 +1,124 @@
+"""Tests for MAC addresses, frames, and ACLs."""
+
+import numpy as np
+import pytest
+
+from repro.mac.acl import AccessControlList
+from repro.mac.address import MacAddress
+from repro.mac.frames import Dot11Frame, FrameType
+
+
+class TestMacAddress:
+    def test_canonical_form_is_lower_case_colon_separated(self):
+        address = MacAddress("AA-BB-CC-00-11-22")
+        assert str(address) == "aa:bb:cc:00:11:22"
+
+    def test_invalid_strings_rejected(self):
+        for bad in ("not-a-mac", "aa:bb:cc:dd:ee", "aa:bb:cc:dd:ee:ff:00", ""):
+            with pytest.raises(ValueError):
+                MacAddress(bad)
+
+    def test_bytes_round_trip(self):
+        address = MacAddress("02:1a:2b:3c:4d:5e")
+        assert MacAddress.from_bytes(address.to_bytes()) == address
+
+    def test_bits_encoding(self):
+        address = MacAddress("80:00:00:00:00:01")
+        bits = address.to_bits()
+        assert bits.shape == (48,)
+        assert bits[0] == 1
+        assert bits[-1] == 1
+        assert bits[1:47].sum() == 0
+
+    def test_random_addresses_are_unicast_and_reproducible(self):
+        a = MacAddress.random(rng=9)
+        b = MacAddress.random(rng=9)
+        assert a == b
+        assert not a.is_multicast
+        assert a.is_locally_administered
+
+    def test_broadcast_flags(self):
+        broadcast = MacAddress.broadcast()
+        assert broadcast.is_broadcast
+        assert broadcast.is_multicast
+
+
+class TestDot11Frame:
+    def _frame(self, **overrides):
+        defaults = dict(
+            source=MacAddress("02:00:00:00:00:01"),
+            destination=MacAddress("02:00:00:00:00:02"),
+            frame_type=FrameType.DATA,
+            sequence_number=7,
+            payload=b"hello",
+        )
+        defaults.update(overrides)
+        return Dot11Frame(**defaults)
+
+    def test_serialisation_round_trip(self):
+        frame = self._frame()
+        assert Dot11Frame.from_bytes(frame.to_bytes()) == frame
+
+    def test_bit_serialisation_length(self):
+        frame = self._frame(payload=b"")
+        assert frame.to_bits().size == 17 * 8
+
+    def test_spoofed_copy_changes_only_the_source(self):
+        frame = self._frame()
+        victim = MacAddress("02:aa:bb:cc:dd:ee")
+        spoofed = frame.spoofed_by(victim)
+        assert spoofed.source == victim
+        assert spoofed.destination == frame.destination
+        assert spoofed.payload == frame.payload
+
+    def test_sequence_number_validation(self):
+        with pytest.raises(ValueError):
+            self._frame(sequence_number=5000)
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            self._frame(source="02:00:00:00:00:01")
+        with pytest.raises(TypeError):
+            self._frame(frame_type="data")
+
+    def test_truncated_frame_rejected(self):
+        frame = self._frame()
+        with pytest.raises(ValueError):
+            Dot11Frame.from_bytes(frame.to_bytes()[:-3])
+
+
+class TestAccessControlList:
+    def test_allow_list_behaviour(self):
+        client = MacAddress.random(rng=1)
+        stranger = MacAddress.random(rng=2)
+        acl = AccessControlList(allowed=[client], default_allow=False)
+        assert acl.permits(client)
+        assert not acl.permits(stranger)
+
+    def test_deny_list_behaviour(self):
+        banned = MacAddress.random(rng=3)
+        other = MacAddress.random(rng=4)
+        acl = AccessControlList(denied=[banned], default_allow=True)
+        assert not acl.permits(banned)
+        assert acl.permits(other)
+
+    def test_moving_between_lists(self):
+        address = MacAddress.random(rng=5)
+        acl = AccessControlList(default_allow=False)
+        acl.allow(address)
+        assert acl.permits(address)
+        acl.deny(address)
+        assert not acl.permits(address)
+        acl.remove(address)
+        assert not acl.permits(address)  # falls back to default deny
+        assert address not in acl
+
+    def test_conflicting_construction_rejected(self):
+        address = MacAddress.random(rng=6)
+        with pytest.raises(ValueError):
+            AccessControlList(allowed=[address], denied=[address])
+
+    def test_len_counts_both_lists(self):
+        acl = AccessControlList(allowed=[MacAddress.random(rng=7)],
+                                denied=[MacAddress.random(rng=8)])
+        assert len(acl) == 2

@@ -1,0 +1,60 @@
+"""Tests for decibel and power conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.decibels import (
+    amplitude_ratio_to_db,
+    db_to_amplitude_ratio,
+    db_to_power_ratio,
+    dbm_to_watts,
+    power_ratio_to_db,
+    watts_to_dbm,
+)
+
+
+class TestPowerConversions:
+    def test_known_values(self):
+        assert float(power_ratio_to_db(10.0)) == pytest.approx(10.0)
+        assert float(power_ratio_to_db(100.0)) == pytest.approx(20.0)
+        assert float(db_to_power_ratio(3.0)) == pytest.approx(1.995, abs=0.01)
+
+    def test_dbm_watts_round_trip_known_points(self):
+        assert float(dbm_to_watts(0.0)) == pytest.approx(1e-3)
+        assert float(dbm_to_watts(30.0)) == pytest.approx(1.0)
+        assert float(watts_to_dbm(1e-3)) == pytest.approx(0.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            power_ratio_to_db(-1.0)
+        with pytest.raises(ValueError):
+            watts_to_dbm(-1e-3)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_db_power_round_trip(self, db):
+        assert float(power_ratio_to_db(db_to_power_ratio(db))) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_dbm_watts_round_trip(self, dbm):
+        assert float(watts_to_dbm(dbm_to_watts(dbm))) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestAmplitudeConversions:
+    def test_known_values(self):
+        assert float(amplitude_ratio_to_db(10.0)) == pytest.approx(20.0)
+        assert float(db_to_amplitude_ratio(6.0)) == pytest.approx(1.995, abs=0.01)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_amplitude_round_trip(self, db):
+        assert float(amplitude_ratio_to_db(db_to_amplitude_ratio(db))) == pytest.approx(db, abs=1e-9)
+
+    def test_amplitude_db_is_twice_power_db_for_same_ratio(self):
+        ratio = 3.7
+        assert float(amplitude_ratio_to_db(ratio)) == pytest.approx(
+            2.0 * float(power_ratio_to_db(ratio)))
+
+    def test_vectorised_input(self):
+        values = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(power_ratio_to_db(values), [0.0, 10.0, 20.0])

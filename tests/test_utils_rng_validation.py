@@ -1,0 +1,78 @@
+"""Tests for RNG management and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    require_finite,
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_a_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_is_passed_through(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_spawned_streams_are_deterministic(self):
+        a = spawn_rng(5, stream=2).integers(0, 1000, size=4)
+        b = spawn_rng(5, stream=2).integers(0, 1000, size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = spawn_rng(5, stream=1).integers(0, 10**9)
+        b = spawn_rng(5, stream=2).integers(0, 10**9)
+        assert a != b
+
+    def test_spawn_without_stream_advances_parent(self):
+        parent = ensure_rng(11)
+        first = spawn_rng(parent).integers(0, 10**9)
+        second = spawn_rng(parent).integers(0, 10**9)
+        assert first != second
+
+
+class TestValidation:
+    def test_require_positive(self):
+        assert require_positive(2.5, "x") == 2.5
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+    def test_require_positive_int(self):
+        assert require_positive_int(3, "n") == 3
+        with pytest.raises(ValueError):
+            require_positive_int(0, "n")
+        with pytest.raises(ValueError):
+            require_positive_int(2.5, "n")
+
+    def test_require_finite(self):
+        assert require_finite(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            require_finite(float("inf"), "x")
+        with pytest.raises(ValueError):
+            require_finite(float("nan"), "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            require_in_range(1.5, "x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            require_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
