@@ -18,4 +18,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.21", "scipy>=1.7"],
+    extras_require={
+        "test": ["pytest>=7.0", "pytest-benchmark>=4.0"],
+    },
 )

@@ -16,6 +16,8 @@ from repro.aoa.root_music import root_music_bearings
 from repro.aoa.esprit import esprit_bearings
 from repro.aoa.phase_interferometry import two_antenna_bearing
 from repro.aoa.estimator import AoAEstimator, AoAEstimate, EstimatorConfig
+from repro.aoa.batch import BatchAoAEstimator
+from repro.aoa.peaks import find_peaks_batch
 
 __all__ = [
     "correlation_matrix",
@@ -31,7 +33,9 @@ __all__ = [
     "root_music_bearings",
     "esprit_bearings",
     "two_antenna_bearing",
+    "find_peaks_batch",
     "AoAEstimator",
     "AoAEstimate",
     "EstimatorConfig",
+    "BatchAoAEstimator",
 ]

@@ -6,30 +6,24 @@ correlation matrix over the whole packet, condition it, pick the number of
 sources, and run the chosen spectral estimator.  The result bundles the
 pseudospectrum (the SecureAngle signature input) with the bearing of its
 strongest peak (the paper's bearing estimate).
+
+The actual pipeline lives in :class:`repro.aoa.batch.BatchAoAEstimator`;
+``AoAEstimator.process`` is a thin batch-of-one wrapper over it, so the scalar
+and batched paths share one implementation and cannot diverge.  One stacked
+eigendecomposition serves both source counting and the MUSIC subspace split.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.aoa.bartlett import bartlett_pseudospectrum
-from repro.aoa.capon import capon_pseudospectrum
-from repro.aoa.covariance import (
-    correlation_matrix,
-    diagonal_loading,
-    forward_backward_average,
-    spatial_smoothing,
-)
-from repro.aoa.music import music_pseudospectrum
-from repro.aoa.source_count import estimate_num_sources
-from repro.aoa.spectrum import Pseudospectrum
-from repro.arrays.geometry import AntennaArray, UniformLinearArray
+from repro.arrays.geometry import AntennaArray
 from repro.calibration.table import CalibrationTable
 from repro.hardware.capture import Capture
-from repro.phy.schmidl_cox import SchmidlCoxDetector
+from repro.aoa.spectrum import Pseudospectrum
 
 
 @dataclass(frozen=True)
@@ -94,12 +88,20 @@ class AoAEstimate:
 
 
 class AoAEstimator:
-    """Estimate angle-of-arrival pseudospectra from captures."""
+    """Estimate angle-of-arrival pseudospectra from captures.
+
+    A thin facade over the batched engine: ``process`` runs a batch of one,
+    ``process_batch`` forwards whole batches.
+    """
 
     def __init__(self, array: AntennaArray, config: EstimatorConfig = EstimatorConfig()):
         self.array = array
         self.config = config
-        self._detector: Optional[SchmidlCoxDetector] = None
+        # Imported here to break the estimator <-> batch module cycle (the
+        # engine needs EstimatorConfig/AoAEstimate from this module).
+        from repro.aoa.batch import BatchAoAEstimator
+
+        self._engine = BatchAoAEstimator(array, config)
 
     # ------------------------------------------------------------------ public
     def process(self, capture: Capture,
@@ -110,80 +112,14 @@ class AoAEstimator:
         otherwise the capture must already be calibrated (unless the
         configuration disables the check, as the calibration ablation does).
         """
-        if calibration is not None and not capture.calibrated:
-            capture = calibration.apply(capture)
-        if self.config.require_calibrated and not capture.calibrated:
-            raise ValueError(
-                "capture is not calibrated; pass a CalibrationTable or disable "
-                "require_calibrated (see the calibration ablation)")
-        if capture.num_antennas != self.array.num_elements:
-            raise ValueError(
-                f"capture has {capture.num_antennas} antennas but the array has "
-                f"{self.array.num_elements} elements")
+        return self._engine.process_batch([capture], calibration=calibration)[0]
 
-        samples = capture.samples
-        packet_start: Optional[int] = None
-        if self.config.detect_packet:
-            samples, packet_start = self._extract_packet(capture)
-
-        matrix, effective_samples = self._conditioned_correlation(samples)
-        num_sources = self._num_sources(matrix, effective_samples)
-        spectrum = self._spectrum(matrix, num_sources)
-        peaks = spectrum.peak_bearings(max_peaks=self.config.max_sources)
-        bearing = peaks[0] if peaks else spectrum.peak_bearing()
-        return AoAEstimate(
-            pseudospectrum=spectrum,
-            bearing_deg=float(bearing),
-            peak_bearings_deg=peaks,
-            num_sources=num_sources,
-            packet_start=packet_start,
-        )
+    def process_batch(self, captures: Sequence[Capture],
+                      calibration: Optional[CalibrationTable] = None) -> List[AoAEstimate]:
+        """Process a batch of captures through the batched engine."""
+        return self._engine.process_batch(captures, calibration=calibration)
 
     def process_samples(self, samples: np.ndarray) -> AoAEstimate:
         """Convenience wrapper for already-calibrated raw sample matrices."""
         capture = Capture(samples=samples, calibrated=True)
         return self.process(capture)
-
-    # ---------------------------------------------------------------- internals
-    def _extract_packet(self, capture: Capture):
-        if self._detector is None:
-            self._detector = SchmidlCoxDetector(sample_rate_hz=capture.sample_rate_hz)
-        detection = self._detector.detect_first(capture.samples[0])
-        if detection is None:
-            return capture.samples, None
-        start = detection.start_index
-        return capture.samples[:, start:], start
-
-    def _conditioned_correlation(self, samples: np.ndarray):
-        if self.config.smoothing_subarray is not None:
-            if not isinstance(self.array, UniformLinearArray):
-                raise ValueError("spatial smoothing requires a uniform linear array")
-            matrix = spatial_smoothing(samples, self.config.smoothing_subarray)
-        else:
-            matrix = correlation_matrix(samples)
-        if self.config.forward_backward and isinstance(self.array, UniformLinearArray):
-            matrix = forward_backward_average(matrix)
-        if self.config.loading_factor > 0:
-            matrix = diagonal_loading(matrix, self.config.loading_factor)
-        return matrix, samples.shape[1]
-
-    def _num_sources(self, matrix: np.ndarray, num_samples: int) -> int:
-        max_sources = min(self.config.max_sources, matrix.shape[0] - 1)
-        if self.config.num_sources is not None:
-            return min(self.config.num_sources, matrix.shape[0] - 1)
-        eigenvalues = np.linalg.eigvalsh(matrix)
-        return estimate_num_sources(eigenvalues, num_samples,
-                                    method=self.config.source_count_method,
-                                    max_sources=max_sources)
-
-    def _spectrum(self, matrix: np.ndarray, num_sources: int) -> Pseudospectrum:
-        angles = self.array.angle_grid(self.config.resolution_deg)
-        if self.config.method == "music":
-            return music_pseudospectrum(matrix, self.array, num_sources, angles)
-        if self.config.method == "capon":
-            if matrix.shape[0] != self.array.num_elements:
-                raise ValueError("capon does not support spatially smoothed matrices")
-            return capon_pseudospectrum(matrix, self.array, angles)
-        if matrix.shape[0] != self.array.num_elements:
-            raise ValueError("bartlett does not support spatially smoothed matrices")
-        return bartlett_pseudospectrum(matrix, self.array, angles)

@@ -17,6 +17,26 @@ import numpy as np
 from repro.aoa.peaks import find_peaks
 from repro.utils.validation import require_positive
 
+#: Default peak-search parameters shared by the scalar
+#: :meth:`Pseudospectrum.peak_bearings` and the batched engine / signature
+#: builder, so tuning them cannot silently diverge the two paths.
+PEAK_MIN_RELATIVE_HEIGHT = 0.05
+PEAK_MIN_SEPARATION_DEG = 5.0
+
+
+def grid_peak_params(angles_deg: np.ndarray,
+                     min_separation_deg: float = PEAK_MIN_SEPARATION_DEG):
+    """Wrap flag and minimum index separation for a uniform angle grid.
+
+    Mirrors :attr:`Pseudospectrum.wraps_around` and
+    :meth:`Pseudospectrum._separation_samples` for callers (the batched
+    engine) that search peaks on raw value stacks before building spectra.
+    """
+    require_positive(min_separation_deg, "min_separation_deg")
+    step = float(angles_deg[1] - angles_deg[0])
+    wrap = (angles_deg[-1] - angles_deg[0]) + step >= 360.0 - 1e-9
+    return wrap, max(int(round(min_separation_deg / step)), 1)
+
 
 @dataclass(frozen=True)
 class Pseudospectrum:
@@ -63,8 +83,8 @@ class Pseudospectrum:
         return float(self.angles_deg[int(np.argmax(self.values))])
 
     def peak_bearings(self, max_peaks: Optional[int] = None,
-                      min_relative_height: float = 0.05,
-                      min_separation_deg: float = 5.0) -> List[float]:
+                      min_relative_height: float = PEAK_MIN_RELATIVE_HEIGHT,
+                      min_separation_deg: float = PEAK_MIN_SEPARATION_DEG) -> List[float]:
         """Angles of local maxima, strongest first."""
         indices = find_peaks(self.values, wrap=self.wraps_around,
                              min_relative_height=min_relative_height,
@@ -103,14 +123,34 @@ class Pseudospectrum:
     def resampled(self, angles_deg: np.ndarray) -> "Pseudospectrum":
         """Return a copy interpolated onto a different angle grid."""
         angles_deg = np.asarray(angles_deg, dtype=float).ravel()
-        values = np.array([self.value_at(a) for a in angles_deg])
-        return Pseudospectrum(angles_deg, values, dict(self.metadata))
+        query = angles_deg
+        if self.wraps_around:
+            query = (angles_deg - self.angles_deg[0]) % 360.0 + self.angles_deg[0]
+        values = np.interp(query, self.angles_deg, self.values)
+        return Pseudospectrum(angles_deg.copy(), values, dict(self.metadata))
 
     def with_metadata(self, **entries: Any) -> "Pseudospectrum":
         """Return a copy with extra metadata merged in."""
         merged = dict(self.metadata)
         merged.update(entries)
         return Pseudospectrum(self.angles_deg.copy(), self.values.copy(), merged)
+
+    @classmethod
+    def from_validated(cls, angles_deg: np.ndarray, values: np.ndarray,
+                       metadata: Dict[str, Any]) -> "Pseudospectrum":
+        """Construct without re-running the ``__post_init__`` validation.
+
+        For the batched estimation engine, which evaluates many spectra on the
+        same already-validated (cached) angle grid and produces values that are
+        finite and non-negative by construction.  The caller guarantees the
+        invariants ``__post_init__`` normally checks: 1-D float arrays of equal
+        length >= 2, strictly increasing angles, finite non-negative values.
+        """
+        spectrum = object.__new__(cls)
+        object.__setattr__(spectrum, "angles_deg", angles_deg)
+        object.__setattr__(spectrum, "values", values)
+        object.__setattr__(spectrum, "metadata", metadata)
+        return spectrum
 
     # -------------------------------------------------------------- internals
     def _separation_samples(self, separation_deg: float) -> int:

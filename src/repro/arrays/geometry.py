@@ -40,6 +40,13 @@ class AntennaArray:
         self._positions = positions
         self._carrier_frequency_hz = require_positive(carrier_frequency_hz, "carrier_frequency_hz")
         self.name = name
+        # Manifold cache: the geometry is immutable, so angle grids and
+        # steering matrices depend only on (resolution, wavelength) and are
+        # computed once per array instead of once per processed packet.
+        # Cached arrays are returned read-only and must not be mutated.
+        self._ambiguous: Optional[bool] = None
+        self._grid_cache: dict = {}
+        self._steering_cache: dict = {}
 
     @property
     def num_elements(self) -> int:
@@ -74,16 +81,29 @@ class AntennaArray:
         Linear arrays are ambiguous (bearing range [-90, 90]); planar arrays
         with elements spanning two dimensions are not.
         """
-        centred = self._positions - self._positions.mean(axis=0)
-        # Rank 1 geometry (all elements collinear) implies front/back ambiguity.
-        return np.linalg.matrix_rank(centred, tol=1e-9) < 2
+        if self._ambiguous is None:
+            centred = self._positions - self._positions.mean(axis=0)
+            # Rank 1 geometry (all elements collinear) implies front/back ambiguity.
+            self._ambiguous = bool(np.linalg.matrix_rank(centred, tol=1e-9) < 2)
+        return self._ambiguous
 
     def angle_grid(self, resolution_deg: float = 1.0) -> np.ndarray:
-        """Default evaluation grid for pseudospectra, in degrees.
+        """Default evaluation grid for pseudospectra, in degrees (memoized).
 
-        Linear arrays scan [-90, 90]; unambiguous arrays scan [0, 360).
+        Linear arrays scan [-90, 90]; unambiguous arrays scan [0, 360).  The
+        returned array is cached per resolution and marked read-only; callers
+        that need a mutable grid must copy it.
         """
         require_positive(resolution_deg, "resolution_deg")
+        key = float(resolution_deg)
+        grid = self._grid_cache.get(key)
+        if grid is None:
+            grid = self._compute_angle_grid(key)
+            grid.flags.writeable = False
+            self._grid_cache[key] = grid
+        return grid
+
+    def _compute_angle_grid(self, resolution_deg: float) -> np.ndarray:
         if self.ambiguous:
             return np.arange(-90.0, 90.0 + resolution_deg / 2.0, resolution_deg)
         return np.arange(0.0, 360.0, resolution_deg)
@@ -100,9 +120,37 @@ class AntennaArray:
         phase = -2.0 * np.pi / self.wavelength * projection
         return np.exp(1j * phase)
 
-    def steering_matrix(self, angles_deg: Sequence[float]) -> np.ndarray:
-        """Stack of steering vectors, shape (N, len(angles))."""
-        angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
+    def steering_matrix(self, angles_deg: Optional[Sequence[float]] = None,
+                        resolution_deg: float = 1.0) -> np.ndarray:
+        """Stack of steering vectors, shape (N, len(angles)) (memoized).
+
+        With ``angles_deg=None`` the matrix is evaluated on the array's
+        natural :meth:`angle_grid` at ``resolution_deg`` and memoized per
+        (resolution, wavelength), so the (N, A) manifold is computed once per
+        array rather than once per processed packet.  Passing a grid object
+        previously returned by :meth:`angle_grid` hits the same cache.
+        Cached matrices are read-only; copy before mutating.
+        """
+        if angles_deg is None:
+            key = (float(resolution_deg), self.wavelength)
+        else:
+            resolution = next(
+                (cached_resolution
+                 for cached_resolution, grid in self._grid_cache.items()
+                 if angles_deg is grid),
+                None)
+            if resolution is None:
+                angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
+                return self._compute_steering_matrix(angles)
+            key = (resolution, self.wavelength)
+        matrix = self._steering_cache.get(key)
+        if matrix is None:
+            matrix = self._compute_steering_matrix(self.angle_grid(key[0]))
+            matrix.flags.writeable = False
+            self._steering_cache[key] = matrix
+        return matrix
+
+    def _compute_steering_matrix(self, angles: np.ndarray) -> np.ndarray:
         theta = np.deg2rad(angles)
         directions = np.stack([np.cos(theta), np.sin(theta)], axis=0)  # (2, A)
         projection = self._positions @ directions  # (N, A)
@@ -155,9 +203,8 @@ class UniformLinearArray(AntennaArray):
         """Inter-element spacing in metres."""
         return self._spacing_m
 
-    def angle_grid(self, resolution_deg: float = 1.0) -> np.ndarray:
+    def _compute_angle_grid(self, resolution_deg: float) -> np.ndarray:
         """Linear arrays scan [-90, 90] (front/back ambiguous, see footnote 1)."""
-        require_positive(resolution_deg, "resolution_deg")
         return np.arange(-90.0, 90.0 + resolution_deg / 2.0, resolution_deg)
 
     def steering_vector(self, angle_deg: float) -> np.ndarray:
@@ -174,8 +221,7 @@ class UniformLinearArray(AntennaArray):
         phase = -2.0 * np.pi * self._spacing_m / self.wavelength * k * math.sin(theta)
         return np.exp(1j * phase)
 
-    def steering_matrix(self, angles_deg: Sequence[float]) -> np.ndarray:
-        angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
+    def _compute_steering_matrix(self, angles: np.ndarray) -> np.ndarray:
         theta = np.deg2rad(angles)
         k = np.arange(self.num_elements, dtype=float)[:, None]
         phase = -2.0 * np.pi * self._spacing_m / self.wavelength * k * np.sin(theta)[None, :]

@@ -1,6 +1,6 @@
 """SecureAngle core: AoA signatures and the security applications built on them."""
 
-from repro.core.signature import AoASignature
+from repro.core.signature import AoASignature, signatures_from_pseudospectra
 from repro.core.metrics import (
     cosine_similarity,
     peak_set_distance_deg,
@@ -35,6 +35,7 @@ __all__ = [
     "BearingTracker",
     "MobilityTracker",
     "AoASignature",
+    "signatures_from_pseudospectra",
     "cosine_similarity",
     "spectral_correlation",
     "peak_set_distance_deg",

@@ -12,7 +12,7 @@ multi-AP controller can run the virtual-fence application.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.aoa.estimator import AoAEstimate, AoAEstimator, EstimatorConfig
 from repro.arrays.geometry import AntennaArray
@@ -21,7 +21,7 @@ from repro.calibration.table import CalibrationTable
 from repro.core.database import SignatureDatabase
 from repro.core.localization import BearingObservation
 from repro.core.policy import PacketDecision, combine_evidence
-from repro.core.signature import AoASignature
+from repro.core.signature import AoASignature, signatures_from_pseudospectra
 from repro.core.spoofing import SpoofingDetector, SpoofingDetectorConfig
 from repro.core.tracker import SignatureTracker, TrackerConfig
 from repro.geometry.point import Point
@@ -89,20 +89,30 @@ class SecureAngleAP:
         """Run the AoA estimator on a capture (applying calibration if needed)."""
         return self.estimator.process(capture, calibration=self.calibration)
 
+    def analyze_batch(self, captures: Sequence[Capture]) -> List[AoAEstimate]:
+        """Run the batched AoA engine on a whole batch of captures."""
+        return self.estimator.process_batch(captures, calibration=self.calibration)
+
     def signature_from_capture(self, capture: Capture) -> AoASignature:
         """Compute the AoA signature of a single capture."""
-        estimate = self.analyze(capture)
-        return AoASignature.from_pseudospectrum(
-            estimate.pseudospectrum, captured_at_s=capture.timestamp_s)
+        return self.signatures_from_captures([capture])[0]
+
+    def signatures_from_captures(self, captures: Sequence[Capture]) -> List[AoASignature]:
+        """Batched capture -> spectrum -> signature for a batch of captures."""
+        captures = list(captures)
+        estimates = self.analyze_batch(captures)
+        return signatures_from_pseudospectra(
+            [estimate.pseudospectrum for estimate in estimates],
+            captured_at_s=[capture.timestamp_s for capture in captures])
 
     def train_client(self, address: MacAddress, captures) -> AoASignature:
         """Train the certified signature for ``address`` from one or more captures."""
         captures = list(captures)
         if not captures:
             raise ValueError("training requires at least one capture")
-        signature = self.signature_from_capture(captures[0])
-        for capture in captures[1:]:
-            observation = self.signature_from_capture(capture)
+        observations = self.signatures_from_captures(captures)
+        signature = observations[0]
+        for observation in observations[1:]:
             signature = signature.merged_with(observation, weight=1.0 / (signature.num_packets + 1))
         self.database.train(address, signature, timestamp_s=captures[-1].timestamp_s)
         return signature
@@ -117,21 +127,38 @@ class SecureAngleAP:
         certified signature for the claimed address; matching packets also
         update the stored signature (tracking), unless disabled.
         """
-        estimate = self.analyze(capture)
-        observation = AoASignature.from_pseudospectrum(
-            estimate.pseudospectrum, captured_at_s=capture.timestamp_s)
-        acl_permits = self.acl.permits(frame.source)
-        check = self.detector.check(frame.source, observation)
-        if update_signature and check.verdict.value == "match":
-            self.tracker.observe(frame.source, observation, capture.timestamp_s)
-        return combine_evidence(
-            source=frame.source,
-            acl_permits=acl_permits,
-            spoofing_verdict=check.verdict,
-            fence_decision=None,
-            similarity=check.similarity,
-            bearing_deg=observation.direct_path_bearing_deg,
-        )
+        return self.process_packets([frame], [capture], update_signature=update_signature)[0]
+
+    def process_packets(self, frames: Sequence[Dot11Frame], captures: Sequence[Capture],
+                        update_signature: bool = True) -> List[PacketDecision]:
+        """Decide what to do with a batch of received frames.
+
+        The AoA estimation and signature construction run through the batched
+        engine; the per-packet policy (ACL, spoofing check, signature
+        tracking) then runs in arrival order, so tracking sees packets in the
+        same sequence the scalar path would.
+        """
+        frames = list(frames)
+        captures = list(captures)
+        if len(frames) != len(captures):
+            raise ValueError(
+                f"got {len(frames)} frames but {len(captures)} captures")
+        observations = self.signatures_from_captures(captures)
+        decisions: List[PacketDecision] = []
+        for frame, capture, observation in zip(frames, captures, observations):
+            acl_permits = self.acl.permits(frame.source)
+            check = self.detector.check(frame.source, observation)
+            if update_signature and check.verdict.value == "match":
+                self.tracker.observe(frame.source, observation, capture.timestamp_s)
+            decisions.append(combine_evidence(
+                source=frame.source,
+                acl_permits=acl_permits,
+                spoofing_verdict=check.verdict,
+                fence_decision=None,
+                similarity=check.similarity,
+                bearing_deg=observation.direct_path_bearing_deg,
+            ))
+        return decisions
 
     # ------------------------------------------------------------- localisation
     def bearing_observation(self, capture: Capture,
@@ -144,16 +171,23 @@ class SecureAngleAP:
         (circular) arrays — a linear array cannot provide a full 360-degree
         bearing (footnote 1 of the paper).
         """
+        return self.bearing_observations([capture], sigma_deg=sigma_deg)[0]
+
+    def bearing_observations(self, captures: Sequence[Capture],
+                             sigma_deg: Optional[float] = None) -> List[BearingObservation]:
+        """Batched :meth:`bearing_observation` for several captures."""
         if self.array.ambiguous:
             raise ValueError(
                 "virtual-fence localisation requires an unambiguous (circular) array")
-        estimate = self.analyze(capture)
-        global_bearing = (estimate.bearing_deg + self.orientation_deg) % 360.0
-        return BearingObservation(
-            ap_position=self.position,
-            bearing_deg=global_bearing,
-            sigma_deg=self.config.bearing_sigma_deg if sigma_deg is None else sigma_deg,
-        )
+        sigma = self.config.bearing_sigma_deg if sigma_deg is None else sigma_deg
+        return [
+            BearingObservation(
+                ap_position=self.position,
+                bearing_deg=(estimate.bearing_deg + self.orientation_deg) % 360.0,
+                sigma_deg=sigma,
+            )
+            for estimate in self.analyze_batch(captures)
+        ]
 
     def __repr__(self) -> str:
         return (f"SecureAngleAP({self.name!r}, at ({self.position.x:.1f}, {self.position.y:.1f}), "

@@ -10,7 +10,7 @@ final packet decision.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.access_point import SecureAngleAP
 from repro.core.fence import FenceCheck, VirtualFence
@@ -36,18 +36,45 @@ class SecureAngleController:
     # ------------------------------------------------------------ localisation
     def collect_bearings(self, captures: Mapping[str, Capture]) -> List[BearingObservation]:
         """One bearing observation per AP that has a capture of the packet."""
-        observations: List[BearingObservation] = []
-        for name, capture in captures.items():
-            ap = self.aps.get(name)
-            if ap is None:
-                raise KeyError(f"unknown access point {name!r}")
-            observations.append(ap.bearing_observation(capture))
-        return observations
+        return self.collect_bearings_batch([captures])[0]
+
+    def collect_bearings_batch(self, packets: Sequence[Mapping[str, Capture]]
+                               ) -> List[List[BearingObservation]]:
+        """Bearing observations for a batch of packets, batched per AP.
+
+        ``packets`` is one mapping of AP name to capture per packet.  All
+        captures belonging to one AP — across every packet of the batch — are
+        fed to that AP's batched engine in a single call; the observations are
+        then regrouped per packet, in each packet's own AP order.
+        """
+        packets = list(packets)
+        per_ap: Dict[str, List[Tuple[int, Capture]]] = {}
+        for index, captures in enumerate(packets):
+            for name, capture in captures.items():
+                if name not in self.aps:
+                    raise KeyError(f"unknown access point {name!r}")
+                per_ap.setdefault(name, []).append((index, capture))
+        collected: List[Dict[str, BearingObservation]] = [{} for _ in packets]
+        for name, entries in per_ap.items():
+            observations = self.aps[name].bearing_observations(
+                [capture for _, capture in entries])
+            for (index, _), observation in zip(entries, observations):
+                collected[index][name] = observation
+        return [
+            [collected[index][name] for name in captures]
+            for index, captures in enumerate(packets)
+        ]
 
     def localize(self, captures: Mapping[str, Capture]) -> LocationEstimate:
         """Triangulate a client from per-AP captures of the same packet."""
         observations = self.collect_bearings(captures)
         return triangulate_bearings(observations)
+
+    def localize_batch(self, packets: Sequence[Mapping[str, Capture]]
+                       ) -> List[LocationEstimate]:
+        """Triangulate a batch of packets, running each AP's estimator once."""
+        return [triangulate_bearings(observations)
+                for observations in self.collect_bearings_batch(packets)]
 
     def fence_check(self, captures: Mapping[str, Capture]) -> FenceCheck:
         """Evaluate the virtual fence for a packet captured by several APs."""
@@ -55,6 +82,14 @@ class SecureAngleController:
             raise ValueError("no virtual fence configured on this controller")
         observations = self.collect_bearings(captures)
         return self.fence.check_bearings(observations)
+
+    def fence_check_batch(self, packets: Sequence[Mapping[str, Capture]]
+                          ) -> List[FenceCheck]:
+        """Evaluate the virtual fence for a batch of multi-AP packets."""
+        if self.fence is None:
+            raise ValueError("no virtual fence configured on this controller")
+        return [self.fence.check_bearings(observations)
+                for observations in self.collect_bearings_batch(packets)]
 
     # ---------------------------------------------------------------- decisions
     def process_packet(self, frame: Dot11Frame, captures: Mapping[str, Capture],

@@ -11,11 +11,16 @@ localisation applications.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.aoa.spectrum import Pseudospectrum
+from repro.aoa.peaks import find_peaks_batch
+from repro.aoa.spectrum import (
+    PEAK_MIN_RELATIVE_HEIGHT,
+    Pseudospectrum,
+    grid_peak_params,
+)
 
 
 @dataclass(frozen=True)
@@ -102,3 +107,44 @@ class AoASignature:
         peaks = ", ".join(f"{p:.1f}" for p in self.peaks_deg)
         return (f"AoASignature(peaks=[{peaks}] deg, packets={self.num_packets}, "
                 f"t={self.captured_at_s:.1f} s)")
+
+
+def signatures_from_pseudospectra(spectra: Sequence[Pseudospectrum],
+                                  captured_at_s: Optional[Sequence[float]] = None,
+                                  max_peaks: int = 4,
+                                  num_packets: int = 1) -> List[AoASignature]:
+    """Batched signature construction from a batch of pseudospectra.
+
+    Equivalent to calling :meth:`AoASignature.from_pseudospectrum` per
+    spectrum, but when the spectra share one angle grid (the common case: one
+    batch from the batched estimation engine) the peak extraction runs
+    vectorised over the whole (B, A) value stack.
+    """
+    spectra = list(spectra)
+    if captured_at_s is None:
+        captured_at_s = [0.0] * len(spectra)
+    timestamps = [float(t) for t in captured_at_s]
+    if len(timestamps) != len(spectra):
+        raise ValueError("captured_at_s must match the number of spectra")
+    if not spectra:
+        return []
+    grid = spectra[0].angles_deg
+    shared_grid = all(
+        s.angles_deg is grid or np.array_equal(s.angles_deg, grid) for s in spectra[1:])
+    if not shared_grid:
+        return [AoASignature.from_pseudospectrum(spectrum, captured_at_s=timestamp,
+                                                 max_peaks=max_peaks, num_packets=num_packets)
+                for spectrum, timestamp in zip(spectra, timestamps)]
+    values = np.stack([s.values for s in spectra])
+    wrap, min_separation = grid_peak_params(grid)
+    peak_indices = find_peaks_batch(values, wrap=wrap,
+                                    min_relative_height=PEAK_MIN_RELATIVE_HEIGHT,
+                                    min_separation=min_separation)
+    signatures: List[AoASignature] = []
+    for spectrum, indices, timestamp in zip(spectra, peak_indices, timestamps):
+        peaks = [float(grid[i]) for i in indices[:max_peaks]]
+        if not peaks:
+            peaks = [spectrum.peak_bearing()]
+        signatures.append(AoASignature(spectrum=spectrum, peaks_deg=peaks,
+                                       captured_at_s=timestamp, num_packets=num_packets))
+    return signatures

@@ -113,13 +113,14 @@ def run_figure5(num_packets: int = 10,
     rows: List[ClientBearingRow] = []
     for client_id in client_ids:
         expected = simulator.expected_client_bearing(client_id)
-        bearings: List[float] = []
-        for index in range(num_packets):
-            capture = simulator.capture_from_client(
+        captures = [
+            simulator.capture_from_client(
                 client_id, elapsed_s=index * inter_packet_gap_s,
                 timestamp_s=index * inter_packet_gap_s)
-            estimate = estimator.process(capture, calibration=calibration)
-            bearings.append(estimate.bearing_deg)
+            for index in range(num_packets)
+        ]
+        estimates = estimator.process_batch(captures, calibration=calibration)
+        bearings = [estimate.bearing_deg for estimate in estimates]
         mean_bearing = circular_mean(bearings)
         halfwidth = confidence_interval_halfwidth(bearings, confidence=confidence)
         error = float(angular_difference(mean_bearing, expected))

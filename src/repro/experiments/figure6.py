@@ -24,7 +24,7 @@ from repro.aoa.estimator import AoAEstimator, EstimatorConfig
 from repro.aoa.spectrum import Pseudospectrum
 from repro.arrays.geometry import UniformLinearArray
 from repro.core.metrics import peak_set_distance_deg, spectral_correlation
-from repro.core.signature import AoASignature
+from repro.core.signature import signatures_from_pseudospectra
 from repro.experiments.reporting import format_table
 from repro.testbed.environment import figure4_environment
 from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
@@ -99,15 +99,13 @@ def run_figure6(client_ids: Sequence[int] = DEFAULT_CLIENTS,
 
     clients: Dict[int, ClientStability] = {}
     for client_id in client_ids:
-        spectra: List[Pseudospectrum] = []
-        signatures: List[AoASignature] = []
-        for offset in time_offsets:
-            capture = simulator.capture_from_client(client_id, elapsed_s=offset,
-                                                    timestamp_s=offset)
-            estimate = estimator.process(capture, calibration=calibration)
-            spectra.append(estimate.pseudospectrum)
-            signatures.append(AoASignature.from_pseudospectrum(
-                estimate.pseudospectrum, captured_at_s=offset))
+        captures = [
+            simulator.capture_from_client(client_id, elapsed_s=offset, timestamp_s=offset)
+            for offset in time_offsets
+        ]
+        estimates = estimator.process_batch(captures, calibration=calibration)
+        spectra = [estimate.pseudospectrum for estimate in estimates]
+        signatures = signatures_from_pseudospectra(spectra, captured_at_s=time_offsets)
         reference = signatures[0]
         direct_drift: List[float] = []
         reflection_drift: List[float] = []

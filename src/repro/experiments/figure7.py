@@ -19,9 +19,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.aoa.covariance import correlation_matrix, diagonal_loading, forward_backward_average
-from repro.aoa.music import music_pseudospectrum
-from repro.aoa.source_count import estimate_num_sources
+from repro.aoa.batch import BatchAoAEstimator
+from repro.aoa.estimator import EstimatorConfig
 from repro.aoa.spectrum import Pseudospectrum
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.subarray import subarray_samples
@@ -107,21 +106,18 @@ def run_figure7(client_id: int = DEFAULT_CLIENT,
     rows: List[AntennaCountRow] = []
     for count in counts:
         array = UniformLinearArray(num_elements=count, spacing_m=full_array.spacing)
+        engine = BatchAoAEstimator(array, EstimatorConfig(
+            source_count_method="gap", max_sources=min(3, count - 1),
+            forward_backward=True, loading_factor=1e-6))
+        estimates = engine.process_samples_batch([
+            subarray_samples(capture.samples, num_elements=count) for capture in captures
+        ])
         errors: List[float] = []
         bearings: List[float] = []
         peak_counts: List[int] = []
-        first_spectrum: Pseudospectrum = None
-        for capture in captures:
-            samples = subarray_samples(capture.samples, num_elements=count)
-            matrix = forward_backward_average(correlation_matrix(samples))
-            matrix = diagonal_loading(matrix, 1e-6)
-            eigenvalues = np.linalg.eigvalsh(matrix)
-            num_sources = estimate_num_sources(
-                eigenvalues, samples.shape[1], method="gap",
-                max_sources=min(3, count - 1))
-            spectrum = music_pseudospectrum(matrix, array, num_sources)
-            if first_spectrum is None:
-                first_spectrum = spectrum
+        first_spectrum: Pseudospectrum = estimates[0].pseudospectrum
+        for estimate in estimates:
+            spectrum = estimate.pseudospectrum
             peaks = spectrum.peak_bearings(min_relative_height=0.1, min_separation_deg=8.0)
             bearing = peaks[0] if peaks else spectrum.peak_bearing()
             bearings.append(float(bearing))

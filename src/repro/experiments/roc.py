@@ -19,7 +19,7 @@ import numpy as np
 from repro.aoa.estimator import AoAEstimator, EstimatorConfig
 from repro.arrays.geometry import OctagonalArray
 from repro.core.metrics import signature_similarity
-from repro.core.signature import AoASignature
+from repro.core.signature import AoASignature, signatures_from_pseudospectra
 from repro.experiments.reporting import format_table
 from repro.testbed.environment import figure4_environment
 from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
@@ -92,26 +92,35 @@ def run_spoofing_roc(victim_client_id: int = 5,
     calibration = simulator.calibration_table()
     estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
 
-    def signature_of(client_id: int, elapsed_s: float) -> AoASignature:
-        capture = simulator.capture_from_client(client_id, elapsed_s=elapsed_s)
-        estimate = estimator.process(capture, calibration=calibration)
-        return AoASignature.from_pseudospectrum(estimate.pseudospectrum, captured_at_s=elapsed_s)
+    def signatures_of(client_id: int, elapsed_list: Sequence[float]) -> List[AoASignature]:
+        """Batched capture -> spectrum -> signature for one client's packets."""
+        captures = [simulator.capture_from_client(client_id, elapsed_s=elapsed)
+                    for elapsed in elapsed_list]
+        estimates = estimator.process_batch(captures, calibration=calibration)
+        return signatures_from_pseudospectra(
+            [estimate.pseudospectrum for estimate in estimates],
+            captured_at_s=elapsed_list)
 
     # Certified signature: average of the training packets.
-    certified = signature_of(victim_client_id, 0.0)
-    for index in range(1, num_training_packets):
-        certified = certified.merged_with(signature_of(victim_client_id, index * 0.5),
-                                          weight=1.0 / (index + 1))
+    training = signatures_of(victim_client_id,
+                             [index * 0.5 for index in range(num_training_packets)])
+    certified = training[0]
+    for index, observation in enumerate(training[1:], start=1):
+        certified = certified.merged_with(observation, weight=1.0 / (index + 1))
 
     legitimate_scores = [
-        signature_similarity(certified, signature_of(victim_client_id, 60.0 + 5.0 * index))
-        for index in range(num_probe_packets)
+        signature_similarity(certified, signature)
+        for signature in signatures_of(
+            victim_client_id,
+            [60.0 + 5.0 * index for index in range(num_probe_packets)])
     ]
     attacker_scores: List[float] = []
     for attacker_client in attacker_client_ids:
-        for index in range(num_probe_packets):
-            attacker_scores.append(signature_similarity(
-                certified, signature_of(attacker_client, 120.0 + 5.0 * index)))
+        attacker_scores.extend(
+            signature_similarity(certified, signature)
+            for signature in signatures_of(
+                attacker_client,
+                [120.0 + 5.0 * index for index in range(num_probe_packets)]))
 
     points = []
     for threshold in thresholds:

@@ -32,7 +32,6 @@ from repro.attacks.attacker import (
 from repro.attacks.spoofing_attack import SpoofingAttack
 from repro.baselines.rss_signalprint import RssSignalprint, RssSpoofingDetector
 from repro.core.access_point import AccessPointConfig, SecureAngleAP
-from repro.core.signature import AoASignature
 from repro.core.spoofing import SpoofingVerdict
 from repro.experiments.reporting import format_table
 from repro.geometry.point import Point
@@ -119,17 +118,18 @@ def run_spoofing_evaluation(victim_client_id: int = 5,
     # ----------------------------------------------- legitimate client, later on
     false_alarms = 0
     rss_false_alarms = 0
-    for index in range(num_test_packets):
-        elapsed = 60.0 + index * 5.0
-        capture = simulator.capture_from_client(victim_client_id, elapsed_s=elapsed,
-                                                timestamp_s=elapsed)
-        observation = AoASignature.from_pseudospectrum(
-            ap.analyze(capture).pseudospectrum, captured_at_s=elapsed)
+    probe_captures = [
+        simulator.capture_from_client(victim_client_id, elapsed_s=60.0 + index * 5.0,
+                                      timestamp_s=60.0 + index * 5.0)
+        for index in range(num_test_packets)
+    ]
+    probe_observations = ap.signatures_from_captures(probe_captures)
+    for capture, observation in zip(probe_captures, probe_observations):
         check = ap.detector.check(victim_address, observation)
         if check.verdict is SpoofingVerdict.SPOOFED:
             false_alarms += 1
         else:
-            ap.tracker.observe(victim_address, observation, elapsed)
+            ap.tracker.observe(victim_address, observation, capture.timestamp_s)
         if not rss_detector.matches(victim_address,
                                     RssSignalprint.from_capture_power([capture.power_dbm()])):
             rss_false_alarms += 1
@@ -162,13 +162,15 @@ def run_spoofing_evaluation(victim_client_id: int = 5,
         detections = 0
         rss_detections = 0
         similarities: List[float] = []
-        for index, _frame in enumerate(attack.iter_frames()):
-            elapsed = 200.0 + index * 5.0
-            capture = simulator.capture_from_position(
-                attacker.position, elapsed_s=elapsed, timestamp_s=elapsed,
+        attack_captures = [
+            simulator.capture_from_position(
+                attacker.position, elapsed_s=200.0 + index * 5.0,
+                timestamp_s=200.0 + index * 5.0,
                 attacker=attacker, tx_power_dbm=attacker.tx_power_dbm)
-            observation = AoASignature.from_pseudospectrum(
-                ap.analyze(capture).pseudospectrum, captured_at_s=elapsed)
+            for index, _frame in enumerate(attack.iter_frames())
+        ]
+        attack_observations = ap.signatures_from_captures(attack_captures)
+        for capture, observation in zip(attack_captures, attack_observations):
             check = ap.detector.check(victim_address, observation)
             similarities.append(check.similarity)
             if check.verdict is SpoofingVerdict.SPOOFED:

@@ -1,0 +1,173 @@
+"""Batch/scalar equivalence of the AoA processing engine.
+
+The scalar ``AoAEstimator.process`` is a batch-of-one wrapper over
+``BatchAoAEstimator``, and every item of a batch is computed independently by
+the underlying BLAS/LAPACK loops — so processing a capture alone and
+processing it inside a batch must agree: bearings exactly, spectra allclose.
+These property-style tests pin that contract across estimation methods, array
+geometries, conditioning options, calibration handling, and mixed-length
+batches, so the two paths cannot silently diverge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aoa.batch import BatchAoAEstimator
+from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import OctagonalArray, UniformLinearArray
+from repro.hardware.capture import Capture
+
+BATCH = 6
+
+
+def _captures(simulator, batch=BATCH):
+    return [
+        simulator.capture_from_client(3 + index % 4, elapsed_s=0.4 * index,
+                                      timestamp_s=0.4 * index)
+        for index in range(batch)
+    ]
+
+
+def _assert_estimates_match(scalar_estimates, batch_estimates):
+    assert len(scalar_estimates) == len(batch_estimates)
+    for scalar, batch in zip(scalar_estimates, batch_estimates):
+        assert scalar.bearing_deg == batch.bearing_deg
+        assert scalar.peak_bearings_deg == batch.peak_bearings_deg
+        assert scalar.num_sources == batch.num_sources
+        assert scalar.packet_start == batch.packet_start
+        assert np.allclose(scalar.pseudospectrum.values, batch.pseudospectrum.values,
+                           rtol=1e-10, atol=1e-12)
+        assert np.array_equal(scalar.pseudospectrum.angles_deg,
+                              batch.pseudospectrum.angles_deg)
+        assert scalar.pseudospectrum.metadata == batch.pseudospectrum.metadata
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("method", ["music", "bartlett", "capon"])
+    def test_methods_match_on_the_circular_array(self, circular_simulator,
+                                                 circular_calibration, octagon_array, method):
+        config = EstimatorConfig(method=method)
+        captures = _captures(circular_simulator)
+        scalar = AoAEstimator(octagon_array, config)
+        engine = BatchAoAEstimator(octagon_array, config)
+        _assert_estimates_match(
+            [scalar.process(c, calibration=circular_calibration) for c in captures],
+            engine.process_batch(captures, calibration=circular_calibration))
+
+    @pytest.mark.parametrize("method", ["music", "bartlett", "capon"])
+    def test_methods_match_on_the_linear_array(self, linear_simulator,
+                                               linear_calibration, linear_array, method):
+        config = EstimatorConfig(method=method)
+        captures = _captures(linear_simulator)
+        scalar = AoAEstimator(linear_array, config)
+        engine = BatchAoAEstimator(linear_array, config)
+        _assert_estimates_match(
+            [scalar.process(c, calibration=linear_calibration) for c in captures],
+            engine.process_batch(captures, calibration=linear_calibration))
+
+    @pytest.mark.parametrize("smoothing", [None, 4])
+    def test_smoothing_matches(self, linear_simulator, linear_calibration,
+                               linear_array, smoothing):
+        config = EstimatorConfig(smoothing_subarray=smoothing)
+        captures = _captures(linear_simulator)
+        scalar = AoAEstimator(linear_array, config)
+        engine = BatchAoAEstimator(linear_array, config)
+        _assert_estimates_match(
+            [scalar.process(c, calibration=linear_calibration) for c in captures],
+            engine.process_batch(captures, calibration=linear_calibration))
+
+    @pytest.mark.parametrize("source_count_method", ["gap", "mdl", "aic"])
+    def test_source_counting_matches(self, circular_simulator, circular_calibration,
+                                     octagon_array, source_count_method):
+        config = EstimatorConfig(source_count_method=source_count_method)
+        captures = _captures(circular_simulator)
+        scalar = AoAEstimator(octagon_array, config)
+        engine = BatchAoAEstimator(octagon_array, config)
+        _assert_estimates_match(
+            [scalar.process(c, calibration=circular_calibration) for c in captures],
+            engine.process_batch(captures, calibration=circular_calibration))
+
+    def test_mixed_length_batches_match(self, circular_simulator, circular_calibration,
+                                        octagon_array):
+        # Different capture lengths exercise the non-uniform correlation path.
+        captures = [
+            capture.slice_time(0, capture.num_samples - 64 * index)
+            for index, capture in enumerate(_captures(circular_simulator))
+        ]
+        scalar = AoAEstimator(octagon_array, EstimatorConfig())
+        engine = BatchAoAEstimator(octagon_array, EstimatorConfig())
+        _assert_estimates_match(
+            [scalar.process(c, calibration=circular_calibration) for c in captures],
+            engine.process_batch(captures, calibration=circular_calibration))
+
+    def test_precalibrated_and_raw_captures_mix(self, circular_simulator,
+                                                circular_calibration, octagon_array):
+        captures = _captures(circular_simulator)
+        mixed = [circular_calibration.apply(capture) if index % 2 else capture
+                 for index, capture in enumerate(captures)]
+        scalar = AoAEstimator(octagon_array, EstimatorConfig())
+        engine = BatchAoAEstimator(octagon_array, EstimatorConfig())
+        batch = engine.process_batch(mixed, calibration=circular_calibration)
+        reference = [scalar.process(c, calibration=circular_calibration) for c in mixed]
+        for scalar_estimate, batch_estimate in zip(reference, batch):
+            assert scalar_estimate.bearing_deg == batch_estimate.bearing_deg
+            assert np.allclose(scalar_estimate.pseudospectrum.values,
+                               batch_estimate.pseudospectrum.values)
+
+    def test_empty_batch_returns_empty_list(self, octagon_array):
+        engine = BatchAoAEstimator(octagon_array, EstimatorConfig())
+        assert engine.process_batch([]) == []
+        assert engine.process_samples_batch([]) == []
+
+    def test_uncalibrated_capture_rejected(self, octagon_array):
+        engine = BatchAoAEstimator(octagon_array, EstimatorConfig())
+        raw = Capture(samples=np.ones((8, 64), dtype=complex))
+        with pytest.raises(ValueError, match="not calibrated"):
+            engine.process_batch([raw])
+
+    def test_antenna_count_mismatch_rejected(self, octagon_array):
+        engine = BatchAoAEstimator(octagon_array, EstimatorConfig())
+        capture = Capture(samples=np.ones((4, 64), dtype=complex), calibrated=True)
+        with pytest.raises(ValueError, match="antennas"):
+            engine.process_batch([capture])
+
+    def test_smoothing_requires_linear_array(self, octagon_array):
+        engine = BatchAoAEstimator(octagon_array, EstimatorConfig(smoothing_subarray=4))
+        capture = Capture(samples=np.ones((8, 64), dtype=complex), calibrated=True)
+        with pytest.raises(ValueError, match="uniform linear"):
+            engine.process_batch([capture])
+
+    @pytest.mark.parametrize("method", ["bartlett", "capon"])
+    def test_smoothing_rejected_for_beamformers(self, linear_array, method):
+        engine = BatchAoAEstimator(
+            linear_array, EstimatorConfig(method=method, smoothing_subarray=4))
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=(8, 128)) + 1j * rng.normal(size=(8, 128))
+        with pytest.raises(ValueError, match="spatially smoothed"):
+            engine.process_samples_batch([samples])
+
+
+class TestManifoldCache:
+    def test_angle_grid_is_memoized_and_read_only(self):
+        array = OctagonalArray()
+        grid = array.angle_grid(1.0)
+        assert array.angle_grid(1.0) is grid
+        assert not grid.flags.writeable
+        with pytest.raises(ValueError):
+            grid[0] = 1.0
+
+    def test_steering_matrix_is_memoized_per_resolution(self):
+        array = UniformLinearArray(num_elements=8)
+        matrix = array.steering_matrix(resolution_deg=1.0)
+        assert array.steering_matrix(resolution_deg=1.0) is matrix
+        assert not matrix.flags.writeable
+        # Passing the cached grid object hits the same cache entry.
+        assert array.steering_matrix(array.angle_grid(1.0)) is matrix
+        # A different resolution gets its own entry.
+        assert array.steering_matrix(resolution_deg=0.5) is not matrix
+
+    def test_cached_steering_matrix_matches_uncached(self):
+        array = OctagonalArray()
+        cached = array.steering_matrix(resolution_deg=2.0)
+        fresh = array.steering_matrix(list(array.angle_grid(2.0)))
+        assert np.array_equal(cached, fresh)
