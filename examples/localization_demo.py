@@ -12,32 +12,27 @@ Run with:  python examples/localization_demo.py
 
 import numpy as np
 
-from repro.arrays import OctagonalArray
+from repro.api import AccessPointSpec, ArraySpec, Deployment, ScenarioSpec
 from repro.baselines.radar_localization import RadarLocalizer, RssFingerprint
-from repro.core.access_point import SecureAngleAP
-from repro.core.controller import SecureAngleController
 from repro.geometry.point import Point
-from repro.testbed import TestbedSimulator, figure4_environment
 
 
 def main() -> None:
-    environment = figure4_environment()
-    ap_specs = [
-        ("ap-main", environment.ap_position),
-        ("ap-east", Point(20.0, 11.0)),
-        ("ap-south", Point(15.0, 2.5)),
-    ]
-
-    simulators = {}
-    aps = []
-    for index, (name, position) in enumerate(ap_specs):
-        array = OctagonalArray()
-        simulator = TestbedSimulator(environment, array, ap_position=position, rng=30 + index)
-        ap = SecureAngleAP(name=name, position=position, array=array)
-        ap.set_calibration(simulator.calibration_table())
-        simulators[name] = simulator
-        aps.append(ap)
-    controller = SecureAngleController(aps)
+    spec = ScenarioSpec(
+        name="localization-demo",
+        access_points=(
+            AccessPointSpec(name="ap-main", array=ArraySpec("octagon"), seed=30),
+            AccessPointSpec(name="ap-east", position=(20.0, 11.0),
+                            array=ArraySpec("octagon"), seed=31),
+            AccessPointSpec(name="ap-south", position=(15.0, 2.5),
+                            array=ArraySpec("octagon"), seed=32),
+        ),
+    )
+    deployment = Deployment(spec)
+    environment = deployment.environment
+    simulators = deployment.simulators
+    controller = deployment.controller
+    ap_specs = [(name, ap.position) for name, ap in deployment.aps.items()]
 
     # Train the RSS baseline on a grid of fingerprints over the floor plan.
     print("training the RADAR RSS baseline on a 2 m grid...")

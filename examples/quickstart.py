@@ -1,53 +1,54 @@
 #!/usr/bin/env python3
-"""Quickstart: estimate a client's bearing from one packet.
+"""Quickstart: the unified scenario & deployment API in fifteen lines.
 
-This walks the SecureAngle pipeline end to end on the simulated testbed:
+A SecureAngle deployment is described declaratively by a ``ScenarioSpec``
+(fully serialisable to JSON), compiled by ``Deployment``, and driven by
+streaming packets through ``Deployment.run``:
 
-1. build the Figure 4 office environment and an 8-antenna circular AP,
-2. calibrate the receiver's per-chain phase offsets (Section 2.2),
-3. simulate one uplink packet from a client,
-4. run MUSIC to get the pseudospectrum, and
-5. print the estimated bearing next to the ground truth.
+1. the default spec wires the Figure 4 office with one 8-antenna circular AP,
+2. compilation builds the simulator, calibrates the receiver (Section 2.2),
+   and stands up the estimator + policy pipeline,
+3. a client trains its certified AoA signature, keeps transmitting, and every
+   packet comes back as a structured event (decision, bearing, latency).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.aoa import AoAEstimator, EstimatorConfig
-from repro.arrays import OctagonalArray
-from repro.testbed import TestbedSimulator, figure4_environment
-from repro.utils.angles import angular_difference
+from repro.api import Deployment, ScenarioSpec
 
 
 def main() -> None:
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, rng=42)
-
-    # Section 2.2: measure the per-chain phase offsets over the cabled
-    # calibration source before any over-the-air processing.
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, EstimatorConfig())
+    # The 15-line spec -> run() flow. Every knob below is optional; the spec
+    # also round-trips through JSON (ScenarioSpec.from_json(spec.to_json())).
+    spec = ScenarioSpec(name="quickstart", environment="figure4", seed=42)
+    deployment = Deployment(spec)
+    print(f"deployment: {deployment}")
+    print(f"spec JSON is {len(spec.to_json())} bytes\n")
 
     client_id = 7
-    capture = simulator.capture_from_client(client_id)
-    estimate = estimator.process(capture, calibration=calibration)
+    address = deployment.clients[client_id].address
+    signature = deployment.train(address, client_id)
+    print(f"trained {address}: direct path at "
+          f"{signature.direct_path_bearing_deg:.1f} deg, "
+          f"{len(signature.multipath_bearings_deg)} reflection peak(s)")
 
-    truth = environment.ground_truth_bearing(client_id)
-    error = float(angular_difference(estimate.bearing_deg, truth))
+    truth = deployment.expected_bearing(client_id)
+    print(f"ground-truth bearing: {truth:.1f} deg\n")
+    for event in deployment.run(
+            deployment.client_packets(client_id, num_packets=5, start_s=60.0)):
+        bearing = event.bearings_deg[deployment.primary_ap_name]
+        print(f"  packet {event.index}: verdict={event.verdict:<7}"
+              f" bearing={bearing:6.1f} deg"
+              f" similarity={event.decision.similarity:.2f}"
+              f" latency={event.latency_s * 1e3:5.1f} ms")
 
-    print(f"client {client_id}")
-    print(f"  ground-truth bearing : {truth:7.1f} deg")
-    print(f"  estimated bearing    : {estimate.bearing_deg:7.1f} deg")
-    print(f"  error                : {error:7.1f} deg")
-    print(f"  sources assumed      : {estimate.num_sources}")
-    print(f"  pseudospectrum peaks : "
-          + ", ".join(f"{p:.1f} deg" for p in estimate.peak_bearings_deg))
-
-    # The pseudospectrum itself is the SecureAngle signature; print a coarse
-    # ASCII rendering so the peak structure is visible without matplotlib.
+    # The pseudospectrum of one more packet, as a coarse ASCII rendering so
+    # the peak structure is visible without matplotlib.
+    estimate = deployment.ap().analyze(
+        deployment.simulator().capture_from_client(client_id))
     spectrum = estimate.pseudospectrum
     db = spectrum.to_db(floor_db=-20.0)
-    print("\n  pseudospectrum (each row = 10 degrees, bar length = relative power):")
+    print("\npseudospectrum (each row = 10 degrees, bar length = relative power):")
     for start in range(0, 360, 10):
         mask = (spectrum.angles_deg >= start) & (spectrum.angles_deg < start + 10)
         level = float(db[mask].max())

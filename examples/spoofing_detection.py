@@ -10,60 +10,52 @@ track) the legitimate client's.
 Run with:  python examples/spoofing_detection.py
 """
 
-from repro.arrays import OctagonalArray
-from repro.attacks.attacker import OmnidirectionalAttacker
-from repro.attacks.spoofing_attack import SpoofingAttack
-from repro.core.access_point import SecureAngleAP
+from repro.api import AccessPointSpec, ArraySpec, AttackerSpec, Deployment, ScenarioSpec
 from repro.mac.address import MacAddress
-from repro.mac.frames import Dot11Frame
-from repro.testbed import TestbedSimulator, figure4_environment
 
 
 def main() -> None:
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, rng=11)
-
-    ap_address = MacAddress("02:aa:00:00:00:01")
+    # One AP plus an indoor attacker at client 9's position, as one spec; the
+    # traffic itself streams through Deployment.run, one event per packet.
+    spec = ScenarioSpec(
+        name="spoofing-demo",
+        seed=11,
+        access_points=(AccessPointSpec(name="office-ap",
+                                       array=ArraySpec("octagon")),),
+        attackers=(AttackerSpec(type="omnidirectional", at_client=9,
+                                name="attacker-at-client-9"),),
+    )
+    deployment = Deployment(spec)
+    ap = deployment.ap()
     victim_address = MacAddress("02:00:00:00:00:05")
-    ap = SecureAngleAP(name="office-ap", position=environment.ap_position, array=array)
-    ap.set_calibration(simulator.calibration_table())
 
     # --- training: ten uplink packets from the legitimate client (client 5) ---
-    training = [simulator.capture_from_client(5, elapsed_s=i * 0.5, timestamp_s=i * 0.5)
-                for i in range(10)]
-    signature = ap.train_client(victim_address, training)
+    signature = deployment.train(victim_address, client_id=5)
     print(f"trained signature for {victim_address}: "
           f"direct path at {signature.direct_path_bearing_deg:.1f} deg, "
           f"{len(signature.multipath_bearings_deg)} reflection peaks")
 
-    # --- the legitimate client keeps sending ---
+    # --- the legitimate client keeps sending under its trained address ---
     print("\nlegitimate client traffic:")
-    for index in range(5):
-        elapsed = 60.0 + 10.0 * index
-        frame = Dot11Frame(source=victim_address, destination=ap_address,
-                           sequence_number=index)
-        capture = simulator.capture_from_client(5, elapsed_s=elapsed, timestamp_s=elapsed)
-        decision = ap.process_packet(frame, capture)
-        print(f"  packet {index}: verdict={decision.verdict.value:<6} "
-              f"similarity={decision.similarity:.2f} bearing={decision.bearing_deg:.1f} deg")
+    legitimate = deployment.client_packets(5, num_packets=5,
+                                           inter_packet_gap_s=10.0,
+                                           start_s=60.0, source=victim_address)
+    for event in deployment.run(legitimate):
+        print(f"  packet {event.index}: verdict={event.verdict:<6} "
+              f"similarity={event.decision.similarity:.2f} "
+              f"bearing={event.decision.bearing_deg:.1f} deg")
 
     # --- the attacker injects frames with the victim's address ---
-    attacker = OmnidirectionalAttacker(
-        position=environment.client_position(9),
-        address=MacAddress.random(rng=3),
-        name="attacker-at-client-9")
-    attack = SpoofingAttack(attacker=attacker, victim_address=victim_address,
-                            ap_address=ap_address, num_frames=5)
+    attacker = deployment.attackers["attacker-at-client-9"]
     print(f"\nattacker at {attacker.position.as_tuple()} spoofing {victim_address}:")
-    for index, frame in enumerate(attack.iter_frames()):
-        elapsed = 200.0 + 10.0 * index
-        capture = simulator.capture_from_position(
-            attacker.position, elapsed_s=elapsed, timestamp_s=elapsed, attacker=attacker)
-        decision = ap.process_packet(frame, capture)
-        print(f"  spoofed packet {index}: verdict={decision.verdict.value:<6} "
-              f"similarity={decision.similarity:.2f} bearing={decision.bearing_deg:.1f} deg")
-        for reason in decision.reasons:
+    spoofed = deployment.attacker_packets("attacker-at-client-9", victim_address,
+                                          num_packets=5, inter_packet_gap_s=10.0,
+                                          start_s=200.0)
+    for event in deployment.run(spoofed):
+        print(f"  spoofed packet {event.index}: verdict={event.verdict:<6} "
+              f"similarity={event.decision.similarity:.2f} "
+              f"bearing={event.decision.bearing_deg:.1f} deg")
+        for reason in event.decision.reasons:
             print(f"      reason: {reason}")
 
     record = ap.database.require(victim_address)

@@ -10,39 +10,41 @@ straight at an access point.
 Run with:  python examples/virtual_fence.py
 """
 
-from repro.arrays import OctagonalArray
-from repro.attacks.attacker import DirectionalAntennaAttacker
-from repro.core.access_point import SecureAngleAP
-from repro.core.controller import SecureAngleController
-from repro.core.fence import VirtualFence
+from repro.api import (
+    AccessPointSpec,
+    ArraySpec,
+    AttackerSpec,
+    Deployment,
+    FenceSpec,
+    ScenarioSpec,
+)
 from repro.geometry.point import Point
-from repro.mac.address import MacAddress
-from repro.testbed import TestbedSimulator, figure4_environment
 
 
 def main() -> None:
-    environment = figure4_environment()
-
     # Three APs ("more than two access points", Section 2.3.1): the main one
     # from Figure 4 plus two more spread across the office so the bearing
     # lines intersect at a healthy angle for transmitters on every side.
-    ap_specs = [
-        ("ap-main", environment.ap_position),
-        ("ap-east", Point(20.0, 11.0)),
-        ("ap-south", Point(15.0, 2.5)),
-    ]
-    simulators = {}
-    aps = []
-    for index, (name, position) in enumerate(ap_specs):
-        array = OctagonalArray()
-        simulator = TestbedSimulator(environment, array, ap_position=position, rng=20 + index)
-        ap = SecureAngleAP(name=name, position=position, array=array)
-        ap.set_calibration(simulator.calibration_table())
-        simulators[name] = simulator
-        aps.append(ap)
-
-    fence = VirtualFence(environment.building_boundary, margin_m=1.0)
-    controller = SecureAngleController(aps, fence=fence)
+    # The whole deployment — APs, fence, attacker — is one declarative spec.
+    spec = ScenarioSpec(
+        name="virtual-fence-demo",
+        access_points=(
+            AccessPointSpec(name="ap-main", array=ArraySpec("octagon"), seed=20),
+            AccessPointSpec(name="ap-east", position=(20.0, 11.0),
+                            array=ArraySpec("octagon"), seed=21),
+            AccessPointSpec(name="ap-south", position=(15.0, 2.5),
+                            array=ArraySpec("octagon"), seed=22),
+        ),
+        fence=FenceSpec(margin_m=1.0),
+        attackers=(AttackerSpec(type="directional", outdoor="street-east",
+                                aim_ap="ap-main"),),
+        seed=5,
+    )
+    deployment = Deployment(spec)
+    environment = deployment.environment
+    simulators = deployment.simulators
+    controller = deployment.controller
+    fence = deployment.fence
 
     def check(label: str, position: Point, attacker=None) -> None:
         captures = {name: sim.capture_from_position(position, attacker=attacker)
@@ -64,10 +66,7 @@ def main() -> None:
         check(label, position)
 
     print("\ndirectional-antenna attacker outside, aiming at ap-main (should be dropped):")
-    attacker = DirectionalAntennaAttacker(
-        position=environment.outdoor_positions["street-east"],
-        address=MacAddress.random(rng=5),
-        aim_point=environment.ap_position)
+    attacker = deployment.attackers["directional-attacker"]
     check("directional attacker", attacker.position, attacker=attacker)
 
 

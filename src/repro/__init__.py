@@ -20,10 +20,14 @@ The public API is organised in layers:
   access-point / controller pipelines;
 * ``repro.attacks``, ``repro.baselines``, ``repro.testbed``,
   ``repro.experiments`` — threat models, RSS baselines, the Figure 4 testbed,
-  and the scripts that regenerate the paper's figures.
+  and the scripts that regenerate the paper's figures;
+* ``repro.api`` — the unified front door: declarative ``ScenarioSpec``
+  (JSON-serialisable), component registries, and the ``Deployment`` facade
+  with its streaming ``run`` / batched ``run_batch`` sessions.
 """
 
 from repro.aoa import AoAEstimate, AoAEstimator, EstimatorConfig
+from repro.api import Deployment, Packet, PacketEvent, ScenarioSpec
 from repro.arrays import OctagonalArray, UniformCircularArray, UniformLinearArray
 from repro.core import (
     AccessPointConfig,
@@ -54,5 +58,9 @@ __all__ = [
     "AccessPointConfig",
     "TestbedSimulator",
     "figure4_environment",
+    "ScenarioSpec",
+    "Deployment",
+    "Packet",
+    "PacketEvent",
     "__version__",
 ]

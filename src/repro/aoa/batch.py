@@ -64,9 +64,9 @@ class BatchAoAEstimator:
     captures of a batch through stacked linear algebra.
     """
 
-    def __init__(self, array: AntennaArray, config: EstimatorConfig = EstimatorConfig()):
+    def __init__(self, array: AntennaArray, config: Optional[EstimatorConfig] = None):
         self.array = array
-        self.config = config
+        self.config = config if config is not None else EstimatorConfig()
         self._detector: Optional[SchmidlCoxDetector] = None
         #: Scan arrays for spatially smoothed (shrunken) correlation matrices,
         #: keyed by subarray size, so their steering caches persist.

@@ -15,6 +15,7 @@ eigendecomposition serves both source counting and the MUSIC subspace split.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -24,6 +25,14 @@ from repro.arrays.geometry import AntennaArray
 from repro.calibration.table import CalibrationTable
 from repro.hardware.capture import Capture
 from repro.aoa.spectrum import Pseudospectrum
+
+#: Grid-scanning estimators the pipeline can run end to end (they produce the
+#: pseudospectra SecureAngle signatures are built from).
+SPECTRAL_METHODS = ("music", "bartlett", "capon")
+
+#: Search-free estimators that return bearings directly (no pseudospectrum);
+#: available through :data:`repro.api.AOA_METHODS` rather than this config.
+PARAMETRIC_METHODS = ("root_music", "esprit", "phase_interferometry")
 
 
 @dataclass(frozen=True)
@@ -57,8 +66,17 @@ class EstimatorConfig:
     require_calibrated: bool = True
 
     def __post_init__(self) -> None:
-        if self.method not in ("music", "bartlett", "capon"):
-            raise ValueError(f"unknown estimator method {self.method!r}")
+        if self.method not in SPECTRAL_METHODS:
+            message = f"unknown estimator method {self.method!r}"
+            if self.method in PARAMETRIC_METHODS:
+                message += (f"; {self.method!r} is search-free (no pseudospectrum) — "
+                            "use it via repro.api.AOA_METHODS instead")
+            else:
+                close = difflib.get_close_matches(
+                    str(self.method), SPECTRAL_METHODS + PARAMETRIC_METHODS, n=2, cutoff=0.5)
+                if close:
+                    message += "; did you mean " + " or ".join(repr(c) for c in close) + "?"
+            raise ValueError(message)
         if self.resolution_deg <= 0:
             raise ValueError("resolution_deg must be positive")
         if self.num_sources is not None and self.num_sources < 1:
@@ -94,14 +112,14 @@ class AoAEstimator:
     ``process_batch`` forwards whole batches.
     """
 
-    def __init__(self, array: AntennaArray, config: EstimatorConfig = EstimatorConfig()):
+    def __init__(self, array: AntennaArray, config: Optional[EstimatorConfig] = None):
         self.array = array
-        self.config = config
+        self.config = config if config is not None else EstimatorConfig()
         # Imported here to break the estimator <-> batch module cycle (the
         # engine needs EstimatorConfig/AoAEstimate from this module).
         from repro.aoa.batch import BatchAoAEstimator
 
-        self._engine = BatchAoAEstimator(array, config)
+        self._engine = BatchAoAEstimator(array, self.config)
 
     # ------------------------------------------------------------------ public
     def process(self, capture: Capture,

@@ -1,0 +1,66 @@
+"""The unified scenario & deployment API.
+
+One front door for driving SecureAngle: describe a deployment declaratively
+with :class:`ScenarioSpec` (serialisable to/from JSON), name components via
+the registries (:data:`AOA_METHODS`, :data:`ARRAY_GEOMETRIES`,
+:data:`ATTACK_TYPES`, :data:`ENVIRONMENTS`), compile it with
+:class:`Deployment`, and stream packets through :meth:`Deployment.run` (or
+:meth:`Deployment.run_batch` for the batched engine).
+
+>>> from repro.api import Deployment, ScenarioSpec
+>>> deployment = Deployment(ScenarioSpec(name="quickstart"))
+>>> for event in deployment.run(deployment.client_packets(7, num_packets=3)):
+...     print(event.verdict, event.bearings_deg)
+
+The preset builders in :mod:`repro.api.scenarios` reproduce the paper's
+experiment wiring (including exact random streams); every experiment runner
+under :mod:`repro.experiments` builds its setup through them.
+"""
+
+from repro.api.components import (
+    AOA_METHODS,
+    ARRAY_GEOMETRIES,
+    ATTACK_TYPES,
+    ENVIRONMENTS,
+    AoAMethod,
+)
+from repro.api.deployment import Deployment, Packet, PacketEvent
+from repro.api.registry import Registry
+from repro.api.scenarios import (
+    SCENARIOS,
+    fence_scenario,
+    single_ap_scenario,
+    spoofing_scenario,
+    three_ap_scenario,
+)
+from repro.api.spec import (
+    AccessPointSpec,
+    ArraySpec,
+    AttackerSpec,
+    FenceSpec,
+    PolicySpec,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "AOA_METHODS",
+    "ARRAY_GEOMETRIES",
+    "ATTACK_TYPES",
+    "ENVIRONMENTS",
+    "SCENARIOS",
+    "AoAMethod",
+    "Registry",
+    "ScenarioSpec",
+    "AccessPointSpec",
+    "ArraySpec",
+    "AttackerSpec",
+    "FenceSpec",
+    "PolicySpec",
+    "Deployment",
+    "Packet",
+    "PacketEvent",
+    "single_ap_scenario",
+    "three_ap_scenario",
+    "fence_scenario",
+    "spoofing_scenario",
+]

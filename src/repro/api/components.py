@@ -1,0 +1,187 @@
+"""The component registries: AoA methods, array geometries, attacks, environments.
+
+Scenario specs (:mod:`repro.api.spec`) refer to all pluggable pieces of a
+deployment by name; this module is where those names are bound to the actual
+implementations.  Third-party code can extend a deployment by registering its
+own components under new names — specs pick them up with no import changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.aoa.covariance import correlation_matrix
+from repro.aoa.esprit import esprit_bearings
+from repro.aoa.estimator import (
+    AoAEstimator,
+    EstimatorConfig,
+    PARAMETRIC_METHODS,
+    SPECTRAL_METHODS,
+)
+from repro.aoa.phase_interferometry import two_antenna_bearing
+from repro.aoa.root_music import root_music_bearings
+from repro.api.registry import Registry
+from repro.arrays.geometry import (
+    AntennaArray,
+    ArbitraryArray,
+    OctagonalArray,
+    UniformCircularArray,
+    UniformLinearArray,
+)
+from repro.attacks.attacker import (
+    AntennaArrayAttacker,
+    DirectionalAntennaAttacker,
+    OmnidirectionalAttacker,
+)
+from repro.testbed.environment import TestbedEnvironment, figure4_environment
+
+__all__ = [
+    "AOA_METHODS",
+    "ARRAY_GEOMETRIES",
+    "ATTACK_TYPES",
+    "ENVIRONMENTS",
+    "AoAMethod",
+]
+
+
+# ------------------------------------------------------------------ AoA methods
+class AoAMethod:
+    """One named angle-of-arrival estimation technique.
+
+    ``spectral`` methods scan an angle grid and produce the pseudospectra that
+    SecureAngle signatures are built from; they can be named directly in
+    :class:`~repro.aoa.estimator.EstimatorConfig`.  Search-free (parametric)
+    methods return bearings only and are exposed through :meth:`bearings`.
+    """
+
+    def __init__(self, name: str,
+                 bearings: Callable[[np.ndarray, AntennaArray, Optional[int]], List[float]],
+                 spectral: bool, requires_linear: bool = False, description: str = ""):
+        self.name = name
+        self.spectral = spectral
+        self.requires_linear = requires_linear
+        self.description = description
+        self._bearings = bearings
+
+    def bearings(self, samples: np.ndarray, array: AntennaArray,
+                 num_sources: Optional[int] = None) -> List[float]:
+        """Bearings (degrees, strongest/most-reliable first) for calibrated samples.
+
+        ``samples`` is an (N, T) calibrated sample matrix; ``num_sources``
+        fixes the model order (``None`` lets spectral methods auto-count and
+        defaults parametric methods to one source).
+        """
+        samples = np.asarray(samples, dtype=complex)
+        if self.requires_linear and not isinstance(array, UniformLinearArray):
+            raise TypeError(f"AoA method {self.name!r} requires a UniformLinearArray")
+        return self._bearings(samples, array, num_sources)
+
+    def estimator_config(self, **overrides) -> EstimatorConfig:
+        """An :class:`EstimatorConfig` running this method (spectral only)."""
+        if not self.spectral:
+            raise ValueError(
+                f"AoA method {self.name!r} is search-free and cannot drive the "
+                "pseudospectrum pipeline; spectral methods: "
+                + ", ".join(SPECTRAL_METHODS))
+        return EstimatorConfig(method=self.name, **overrides)
+
+    def __repr__(self) -> str:
+        kind = "spectral" if self.spectral else "parametric"
+        return f"AoAMethod({self.name!r}, {kind})"
+
+
+AOA_METHODS: Registry[AoAMethod] = Registry("aoa method")
+
+
+def _spectral_bearings(method: str):
+    def bearings(samples: np.ndarray, array: AntennaArray,
+                 num_sources: Optional[int]) -> List[float]:
+        estimator = AoAEstimator(array, EstimatorConfig(method=method, num_sources=num_sources))
+        estimate = estimator.process_samples(samples)
+        return estimate.peak_bearings_deg or [estimate.bearing_deg]
+
+    return bearings
+
+
+def _root_music(samples: np.ndarray, array: AntennaArray,
+                num_sources: Optional[int]) -> List[float]:
+    return root_music_bearings(correlation_matrix(samples), array,
+                               num_sources if num_sources is not None else 1)
+
+
+def _esprit(samples: np.ndarray, array: AntennaArray,
+            num_sources: Optional[int]) -> List[float]:
+    return esprit_bearings(correlation_matrix(samples), array,
+                           num_sources if num_sources is not None else 1)
+
+
+def _phase_interferometry(samples: np.ndarray, array: AntennaArray,
+                          num_sources: Optional[int]) -> List[float]:
+    # The Equation-1 broadside convention only means anything when the first
+    # two elements lie on the array axis, so the method is ULA-only (the
+    # registry enforces requires_linear before this runs).
+    return [two_antenna_bearing(samples[:2], spacing_m=array.spacing,
+                                wavelength_m=array.wavelength)]
+
+
+AOA_METHODS.register("music", AoAMethod(
+    "music", _spectral_bearings("music"), spectral=True,
+    description="MUSIC noise-subspace pseudospectrum (the paper's estimator)"))
+AOA_METHODS.register("bartlett", AoAMethod(
+    "bartlett", _spectral_bearings("bartlett"), spectral=True,
+    description="Bartlett (delay-and-sum) beamscan"))
+AOA_METHODS.register("capon", AoAMethod(
+    "capon", _spectral_bearings("capon"), spectral=True,
+    description="Capon / MVDR minimum-variance beamscan"), aliases=("mvdr",))
+AOA_METHODS.register("root_music", AoAMethod(
+    "root_music", _root_music, spectral=False, requires_linear=True,
+    description="Root-MUSIC polynomial rooting (ULA only, search-free)"))
+AOA_METHODS.register("esprit", AoAMethod(
+    "esprit", _esprit, spectral=False, requires_linear=True,
+    description="LS-ESPRIT shift invariance (ULA only, search-free)"))
+AOA_METHODS.register("phase_interferometry", AoAMethod(
+    "phase_interferometry", _phase_interferometry, spectral=False,
+    requires_linear=True,
+    description="Equation 1: two-antenna phase difference (ULA only)"),
+    aliases=("two_antenna",))
+
+if set(AOA_METHODS.names()) != set(SPECTRAL_METHODS) | set(PARAMETRIC_METHODS):
+    # Survives python -O (unlike assert): a method added to the registry but
+    # not the estimator constants (or vice versa) must fail at import.
+    raise RuntimeError(
+        "AOA_METHODS registry and estimator method constants diverged: "
+        f"{sorted(AOA_METHODS.names())} vs "
+        f"{sorted(set(SPECTRAL_METHODS) | set(PARAMETRIC_METHODS))}")
+
+
+# ------------------------------------------------------------- array geometries
+ARRAY_GEOMETRIES: Registry[Callable[..., AntennaArray]] = Registry("array geometry")
+
+ARRAY_GEOMETRIES.register("linear", UniformLinearArray, aliases=("ula",))
+ARRAY_GEOMETRIES.register("circular", UniformCircularArray, aliases=("uca",))
+ARRAY_GEOMETRIES.register("octagon", OctagonalArray, aliases=("prototype_circular",))
+
+
+@ARRAY_GEOMETRIES.register("arbitrary")
+def _arbitrary_array(element_positions, carrier_frequency_hz=None,
+                     name="arbitrary") -> AntennaArray:
+    kwargs = {} if carrier_frequency_hz is None else {
+        "carrier_frequency_hz": carrier_frequency_hz}
+    return ArbitraryArray(np.asarray(element_positions, dtype=float), name=name, **kwargs)
+
+
+# ---------------------------------------------------------------- attack types
+ATTACK_TYPES: Registry[type] = Registry("attack type")
+
+ATTACK_TYPES.register("omnidirectional", OmnidirectionalAttacker, aliases=("omni",))
+ATTACK_TYPES.register("directional", DirectionalAntennaAttacker,
+                      aliases=("directional_antenna",))
+ATTACK_TYPES.register("array", AntennaArrayAttacker, aliases=("antenna_array",))
+
+
+# ---------------------------------------------------------------- environments
+ENVIRONMENTS: Registry[Callable[[], TestbedEnvironment]] = Registry("environment")
+
+ENVIRONMENTS.register("figure4", figure4_environment, aliases=("testbed",))

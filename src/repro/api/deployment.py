@@ -1,0 +1,484 @@
+"""The deployment facade: compile a spec, then stream packets through it.
+
+``Deployment`` turns a declarative :class:`~repro.api.spec.ScenarioSpec` into
+the full live stack — environment, per-AP testbed simulators, calibrated
+:class:`~repro.core.access_point.SecureAngleAP` instances, a
+:class:`~repro.core.controller.SecureAngleController`, clients, and attackers
+— and exposes one front door for driving traffic through it:
+
+* :meth:`run` consumes an iterable of :class:`Packet` records (a frame plus
+  per-AP captures) and *yields* one structured :class:`PacketEvent` per
+  packet: the accept/drop/flag decision, every AP's bearing, the triangulated
+  location, the fence verdict, and the processing latency.
+* :meth:`run_batch` does the same for a whole batch at once, riding the
+  batched AoA engine (one stacked eigendecomposition per AP instead of one
+  per packet).  Scalar and batched paths share the per-packet policy code, so
+  they cannot diverge.
+
+Randomness: the scenario seed drives one master generator; AP simulators
+draw from it exactly as the hand-wired experiments used to (directly for a
+lone AP, via numbered child streams otherwise), so a spec-built deployment
+reproduces the legacy experiment wiring bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.aoa.estimator import AoAEstimate
+from repro.api.components import ENVIRONMENTS
+from repro.api.spec import AccessPointSpec, ScenarioSpec
+from repro.attacks.attacker import Attacker
+from repro.attacks.spoofing_attack import SpoofingAttack
+from repro.core.access_point import AccessPointConfig, SecureAngleAP
+from repro.core.controller import SecureAngleController
+from repro.core.fence import FenceCheck, VirtualFence
+from repro.core.localization import (
+    BearingObservation,
+    LocationEstimate,
+    triangulate_bearings,
+)
+from repro.core.policy import PacketDecision
+from repro.core.signature import AoASignature, signatures_from_pseudospectra
+from repro.hardware.capture import Capture
+from repro.mac.address import MacAddress
+from repro.mac.frames import Dot11Frame
+from repro.testbed.clients import SoekrisClient, make_clients
+from repro.testbed.scenario import TestbedSimulator
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+__all__ = ["Deployment", "Packet", "PacketEvent"]
+
+#: Fixed MAC address deployments answer to ("SA" = SecureAngle).
+DEPLOYMENT_AP_ADDRESS = MacAddress("02:53:41:00:00:01")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One over-the-air packet: the claimed frame plus per-AP captures."""
+
+    frame: Dot11Frame
+    #: AP name -> that AP's capture of this packet.
+    captures: Mapping[str, Capture]
+    timestamp_s: float = 0.0
+    #: Free-form annotations (client id, ground-truth position, ...).
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.captures:
+            raise ValueError("a packet needs at least one capture")
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """The structured outcome of processing one packet."""
+
+    index: int
+    timestamp_s: float
+    source: MacAddress
+    #: The combined accept/drop/flag decision with its evidence.
+    decision: PacketDecision
+    #: Global-frame bearing per AP (local broadside angle for linear arrays).
+    bearings_deg: Dict[str, float]
+    #: Triangulated position (``None`` with fewer than two unambiguous APs).
+    location: Optional[LocationEstimate]
+    #: Virtual-fence outcome (``None`` when no fence applies).
+    fence: Optional[FenceCheck]
+    #: Wall-clock processing time for this packet (batch mean in run_batch).
+    latency_s: float
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        """True when the frame was delivered to the network."""
+        return self.decision.accepted
+
+    @property
+    def verdict(self) -> str:
+        """The decision verdict as a string (``accept``/``drop``/``flag``)."""
+        return self.decision.verdict.value
+
+
+class Deployment:
+    """A compiled scenario: the one front door for driving SecureAngle."""
+
+    def __init__(self, spec: ScenarioSpec, rng: RngLike = None):
+        self.spec = spec
+        #: Master generator; AP simulators and attacker addresses derive from it.
+        self._rng = ensure_rng(spec.seed if rng is None else rng)
+        self.environment = ENVIRONMENTS.get(spec.environment)()
+        self._ap_specs = spec.resolved_access_points()
+        # A lone AP with no pinned stream/seed consumes the master generator
+        # directly (the hand-wired single-AP experiment convention).  Attacker
+        # addresses must then stay entirely off the master — draws come from a
+        # snapshot of its state taken here, before the simulators consume any
+        # of it — so the addresses still follow the caller's generator while
+        # declaring or touching attackers can never perturb the capture
+        # stream.  With per-AP streams the address draw uses the master
+        # lazily instead, matching the legacy experiments' interleaved spawn
+        # order.
+        lone_spec = self._ap_specs[0]
+        self._master_is_sim_rng = (len(self._ap_specs) == 1
+                                   and lone_spec.seed is None
+                                   and lone_spec.rng_stream is None)
+        self._attacker_rng_base = (copy.deepcopy(self._rng)
+                                   if self._master_is_sim_rng and spec.attackers
+                                   else None)
+
+        self.simulators: Dict[str, TestbedSimulator] = {}
+        self.aps: Dict[str, SecureAngleAP] = {}
+        ap_list: List[SecureAngleAP] = []
+        for index, ap_spec in enumerate(self._ap_specs):
+            ap = self._compile_ap(index, ap_spec)
+            self.aps[ap.name] = ap
+            ap_list.append(ap)
+
+        fence: Optional[VirtualFence] = None
+        if spec.fence is not None:
+            fence = VirtualFence(
+                self.environment.building_boundary,
+                margin_m=spec.fence.margin_m,
+                max_residual_m=spec.fence.max_residual_m,
+                fail_open=spec.fence.fail_open,
+            )
+        self.controller = SecureAngleController(ap_list, fence=fence)
+        #: Address clients transmit to (and attackers spoof towards).
+        self.ap_address = DEPLOYMENT_AP_ADDRESS
+        self._clients: Optional[Dict[int, SoekrisClient]] = None
+        self._attackers: Optional[Dict[str, Attacker]] = None
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, rng: RngLike = None) -> "Deployment":
+        """Compile a scenario spec (alias of the constructor)."""
+        return cls(spec, rng=rng)
+
+    @classmethod
+    def from_json(cls, text: str, rng: RngLike = None) -> "Deployment":
+        """Compile a deployment straight from a JSON scenario document."""
+        return cls(ScenarioSpec.from_json(text), rng=rng)
+
+    # -------------------------------------------------------------- compilation
+    def _compile_ap(self, index: int, ap_spec: AccessPointSpec) -> SecureAngleAP:
+        array = ap_spec.array.build()
+        position = ap_spec.resolve_position(self.environment)
+        if ap_spec.seed is not None:
+            sim_rng = ensure_rng(ap_spec.seed)
+        elif ap_spec.rng_stream is not None:
+            sim_rng = spawn_rng(self._rng, ap_spec.rng_stream)
+        elif len(self._ap_specs) == 1:
+            # A lone AP consumes the master generator directly — exactly the
+            # stream the hand-wired single-AP experiments used.
+            sim_rng = self._rng
+        else:
+            sim_rng = spawn_rng(self._rng, index)
+        simulator = TestbedSimulator(
+            self.environment, array,
+            ap_position=position,
+            orientation_deg=ap_spec.orientation_deg,
+            config=self.spec.simulator,
+            rng=sim_rng,
+        )
+        policy = self.spec.policy
+        ap = SecureAngleAP(
+            name=ap_spec.name,
+            position=position,
+            array=array,
+            orientation_deg=ap_spec.orientation_deg,
+            config=AccessPointConfig(
+                estimator=ap_spec.estimator or self.spec.estimator,
+                spoofing=policy.spoofing,
+                tracker=policy.tracker,
+                bearing_sigma_deg=policy.bearing_sigma_deg,
+                training_packets=policy.training_packets,
+            ),
+        )
+        ap.set_calibration(simulator.calibration_table())
+        self.simulators[ap_spec.name] = simulator
+        return ap
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def fence(self) -> Optional[VirtualFence]:
+        """The compiled virtual fence, if the spec configured one."""
+        return self.controller.fence
+
+    @property
+    def primary_ap_name(self) -> str:
+        """The first (primary) access point's name."""
+        return self._ap_specs[0].name
+
+    def ap(self, name: Optional[str] = None) -> SecureAngleAP:
+        """An access point by name (the primary AP when unnamed)."""
+        if name is None:
+            name = self.primary_ap_name
+        try:
+            return self.aps[name]
+        except KeyError:
+            raise KeyError(f"unknown access point {name!r}; "
+                           f"known: {sorted(self.aps)}") from None
+
+    def simulator(self, name: Optional[str] = None) -> TestbedSimulator:
+        """An AP's testbed simulator (the primary AP's when unnamed)."""
+        if name is None:
+            name = self.primary_ap_name
+        try:
+            return self.simulators[name]
+        except KeyError:
+            raise KeyError(f"unknown access point {name!r}; "
+                           f"known: {sorted(self.simulators)}") from None
+
+    @property
+    def clients(self) -> Dict[int, SoekrisClient]:
+        """The testbed clients (built lazily; addresses from their own seed)."""
+        if self._clients is None:
+            clients = make_clients(self.environment,
+                                   rng=self.spec.client_address_seed)
+            if self.spec.clients:
+                unknown = [cid for cid in self.spec.clients if cid not in clients]
+                if unknown:
+                    raise KeyError(f"unknown client ids in spec: {unknown}")
+                clients = {cid: clients[cid] for cid in self.spec.clients}
+            self._clients = clients
+        return self._clients
+
+    @property
+    def attackers(self) -> Dict[str, Attacker]:
+        """The spec's attackers (built lazily).
+
+        Addresses not pinned by the spec are drawn from the master generator's
+        attacker stream — via a construction-time snapshot of its state when a
+        lone AP owns the master, so captures stay unperturbed.
+        """
+        if self._attackers is None:
+            attackers: Dict[str, Attacker] = {}
+            if self.spec.attackers:
+                ap_positions = {ap.name: ap.position for ap in self.aps.values()}
+                if self._attacker_rng_base is not None:
+                    # The lone AP's simulator owns the master generator;
+                    # draw from the construction-time snapshot of its state
+                    # instead, keeping captures invariant to attacker
+                    # declarations and access order while the addresses
+                    # still track the caller's generator.
+                    address_rng = spawn_rng(self._attacker_rng_base,
+                                            self.spec.attacker_address_stream)
+                else:
+                    address_rng = spawn_rng(self._rng,
+                                            self.spec.attacker_address_stream)
+                for attacker_spec in self.spec.attackers:
+                    # Name collisions were rejected by ScenarioSpec validation.
+                    attacker = attacker_spec.build(self.environment, ap_positions,
+                                                   rng=address_rng)
+                    attackers[attacker.name] = attacker
+            self._attackers = attackers
+        return self._attackers
+
+    def expected_bearing(self, client_id: int,
+                         ap_name: Optional[str] = None) -> float:
+        """The bearing an AP's estimator should report for a client."""
+        return self.simulator(ap_name).expected_client_bearing(client_id)
+
+    # ---------------------------------------------------------------- traffic
+    def client_packets(self, client_id: int, num_packets: int = 1,
+                       inter_packet_gap_s: float = 0.5, start_s: float = 0.0,
+                       payload: bytes = b"uplink",
+                       source: Optional[MacAddress] = None) -> Iterator[Packet]:
+        """Generate uplink packets from a client, captured by every AP.
+
+        ``source`` overrides the claimed source address of the frames —
+        transmitting a client's traffic under a trained (victim) address is
+        the central spoofing-evaluation use case.
+        """
+        if num_packets < 1:
+            raise ValueError("num_packets must be at least 1")
+        client = self.clients[client_id]
+        for index in range(num_packets):
+            timestamp = start_s + index * inter_packet_gap_s
+            if source is None:
+                frame = client.make_frame(self.ap_address, payload=payload)
+            else:
+                frame = Dot11Frame(source=source, destination=self.ap_address,
+                                   sequence_number=index, payload=payload)
+            captures = {
+                name: simulator.capture_from_client(
+                    client_id, frame=frame, tx_power_dbm=client.tx_power_dbm,
+                    elapsed_s=timestamp, timestamp_s=timestamp)
+                for name, simulator in self.simulators.items()
+            }
+            yield Packet(frame=frame, captures=captures, timestamp_s=timestamp,
+                         metadata={"client_id": client_id})
+
+    def attacker_packets(self, attacker_name: str, victim_address: MacAddress,
+                         num_packets: int = 1, inter_packet_gap_s: float = 0.5,
+                         start_s: float = 0.0) -> Iterator[Packet]:
+        """Generate spoofed packets from a named attacker of the spec."""
+        attacker = self.attackers[attacker_name]
+        attack = SpoofingAttack(attacker=attacker, victim_address=victim_address,
+                                ap_address=self.ap_address, num_frames=num_packets)
+        for index, frame in enumerate(attack.iter_frames()):
+            timestamp = start_s + index * inter_packet_gap_s
+            captures = {
+                name: simulator.capture_from_position(
+                    attacker.position, frame=frame, elapsed_s=timestamp,
+                    timestamp_s=timestamp, attacker=attacker,
+                    tx_power_dbm=attacker.tx_power_dbm)
+                for name, simulator in self.simulators.items()
+            }
+            yield Packet(frame=frame, captures=captures, timestamp_s=timestamp,
+                         metadata={"attacker": attacker.name})
+
+    def train(self, address: MacAddress, client_id: int,
+              num_packets: Optional[int] = None, inter_packet_gap_s: float = 0.5,
+              start_s: float = 0.0, ap_name: Optional[str] = None) -> AoASignature:
+        """Train an AP's certified signature for ``address`` from client packets."""
+        ap = self.ap(ap_name)
+        simulator = self.simulator(ap_name)
+        if num_packets is None:
+            num_packets = ap.config.training_packets
+        captures = [
+            simulator.capture_from_client(
+                client_id, elapsed_s=start_s + index * inter_packet_gap_s,
+                timestamp_s=start_s + index * inter_packet_gap_s)
+            for index in range(num_packets)
+        ]
+        return ap.train_client(address, captures)
+
+    # ------------------------------------------------------------------ running
+    def run(self, packets: Iterable[Packet], primary_ap: Optional[str] = None,
+            update_signatures: bool = True) -> Iterator[PacketEvent]:
+        """Stream packets through the deployment, yielding one event each.
+
+        The primary AP (default: the first AP holding a capture of each
+        packet) runs the ACL and spoofing checks and, when enabled, tracks
+        matching signatures; localisation and the fence use every capture.
+        """
+        for index, packet in enumerate(packets):
+            start = time.perf_counter()
+            estimates = {
+                name: self.ap(name).analyze(capture)
+                for name, capture in packet.captures.items()
+            }
+            primary = self._primary_name(packet, primary_ap)
+            observation = signatures_from_pseudospectra(
+                [estimates[primary].pseudospectrum],
+                captured_at_s=[packet.captures[primary].timestamp_s])[0]
+            event = self._event(index, packet, primary, estimates, observation,
+                                update_signatures)
+            yield self._with_latency(event, time.perf_counter() - start)
+
+    def run_batch(self, packets: Iterable[Packet],
+                  primary_ap: Optional[str] = None,
+                  update_signatures: bool = True) -> List[PacketEvent]:
+        """Process a whole batch through the batched AoA engine.
+
+        Every AP sees all of its captures in one ``analyze_batch`` call;
+        per-packet policy then runs in arrival order, so tracking state
+        evolves exactly as the streaming path's would.  The reported latency
+        is the batch mean.
+        """
+        packets = list(packets)
+        if not packets:
+            return []
+        start = time.perf_counter()
+        per_ap: Dict[str, List[Tuple[int, Capture]]] = {}
+        for index, packet in enumerate(packets):
+            for name, capture in packet.captures.items():
+                self.ap(name)  # validate the name early
+                per_ap.setdefault(name, []).append((index, capture))
+        estimates: List[Dict[str, AoAEstimate]] = [{} for _ in packets]
+        for name, entries in per_ap.items():
+            results = self.aps[name].analyze_batch(
+                [capture for _, capture in entries])
+            for (index, _), estimate in zip(entries, results):
+                estimates[index][name] = estimate
+        primaries = [self._primary_name(packet, primary_ap) for packet in packets]
+        observations = signatures_from_pseudospectra(
+            [estimates[index][primary].pseudospectrum
+             for index, primary in enumerate(primaries)],
+            captured_at_s=[packet.captures[primary].timestamp_s
+                           for packet, primary in zip(packets, primaries)])
+        events = [
+            self._event(index, packet, primary, estimates[index], observation,
+                        update_signatures)
+            for index, (packet, primary, observation)
+            in enumerate(zip(packets, primaries, observations))
+        ]
+        latency = (time.perf_counter() - start) / len(packets)
+        return [self._with_latency(event, latency) for event in events]
+
+    # ---------------------------------------------------------------- internals
+    def _primary_name(self, packet: Packet, primary_ap: Optional[str]) -> str:
+        if primary_ap is not None:
+            if primary_ap not in packet.captures:
+                raise ValueError(
+                    f"no capture supplied for primary AP {primary_ap!r}")
+            return primary_ap
+        return next(iter(packet.captures))
+
+    def _event(self, index: int, packet: Packet, primary: str,
+               estimates: Mapping[str, AoAEstimate], observation: AoASignature,
+               update_signatures: bool) -> PacketEvent:
+        ap = self.ap(primary)
+        source = packet.frame.source
+        check = ap.check_packet(source, observation,
+                                packet.captures[primary].timestamp_s,
+                                update_signature=update_signatures)
+
+        bearings: Dict[str, float] = {}
+        triangulation: List[BearingObservation] = []
+        for name, estimate in estimates.items():
+            observer = self.aps[name]
+            if observer.array.ambiguous:
+                # Linear arrays report broadside angles and cannot contribute
+                # an unambiguous global bearing (footnote 1 of the paper).
+                # Unlike SecureAngleAP.bearing_observations — which raises —
+                # the session reports the local bearing and simply leaves the
+                # AP out of triangulation, so mixed-array deployments stream.
+                bearings[name] = estimate.bearing_deg
+                continue
+            bearing = (estimate.bearing_deg + observer.orientation_deg) % 360.0
+            bearings[name] = bearing
+            triangulation.append(BearingObservation(
+                ap_position=observer.position, bearing_deg=bearing,
+                sigma_deg=observer.config.bearing_sigma_deg))
+
+        location: Optional[LocationEstimate] = None
+        fence_check: Optional[FenceCheck] = None
+        if len(triangulation) >= 2:
+            if self.fence is not None:
+                fence_check = self.fence.check_bearings(triangulation)
+                location = fence_check.location
+            else:
+                try:
+                    location = triangulate_bearings(triangulation)
+                except ValueError:
+                    location = None
+
+        # The evidence combination itself lives in SecureAngleAP.decide,
+        # shared with the AP and controller packet paths.
+        decision = ap.decide(source, observation, check,
+                             fence=self.fence, fence_check=fence_check)
+        return PacketEvent(
+            index=index,
+            timestamp_s=packet.timestamp_s,
+            source=source,
+            decision=decision,
+            bearings_deg=bearings,
+            location=location,
+            fence=fence_check,
+            latency_s=0.0,
+            metadata=dict(packet.metadata),
+        )
+
+    @staticmethod
+    def _with_latency(event: PacketEvent, latency_s: float) -> PacketEvent:
+        from dataclasses import replace
+
+        return replace(event, latency_s=latency_s)
+
+    def __repr__(self) -> str:
+        return (f"Deployment({self.spec.name!r}, {len(self.aps)} AP(s), "
+                f"environment={self.environment.name!r}, "
+                f"fence={'on' if self.fence is not None else 'off'})")

@@ -1,0 +1,113 @@
+"""String-keyed component registries.
+
+Scenario specs refer to components — AoA methods, array geometries, attack
+types, environments — by *name* instead of importing classes, so a deployment
+can be described entirely in JSON.  A :class:`Registry` is a small named
+mapping with alias support and did-you-mean errors: ``get("musik")`` fails
+with a message pointing at ``"music"`` rather than a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named string-to-component mapping with aliases and fuzzy errors."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ---------------------------------------------------------------- writing
+    def register(self, name: str, value: Optional[T] = None,
+                 aliases: Iterable[str] = ()):
+        """Register ``value`` under ``name`` (plus ``aliases``).
+
+        With ``value`` supplied, it is registered and returned.  With
+        ``value`` omitted this returns a decorator, so components can be
+        registered at their definition site.
+        """
+        if not isinstance(name, str) or not name.strip():
+            raise TypeError(f"registry names must be non-empty strings, got {name!r}")
+        name = self._normalise(name)
+
+        def _add(entry: T) -> T:
+            # Validate the name and every alias before touching the maps, so a
+            # conflicting alias cannot leave the registry half-mutated.
+            normalised_aliases = [self._normalise(alias) for alias in aliases]
+            for key in [name] + normalised_aliases:
+                if key in self._entries or key in self._aliases:
+                    raise ValueError(f"{self.kind} {key!r} is already registered")
+            if len(set([name] + normalised_aliases)) != 1 + len(normalised_aliases):
+                raise ValueError(f"{self.kind} {name!r}: duplicate aliases")
+            self._entries[name] = entry
+            for alias in normalised_aliases:
+                self._aliases[alias] = name
+            return entry
+
+        if value is None:
+            return _add
+        return _add(value)
+
+    # ---------------------------------------------------------------- reading
+    def canonical(self, name: str) -> str:
+        """The canonical registered name for ``name`` (resolving aliases).
+
+        Any string that is not registered — the empty string included —
+        misses with the documented did-you-mean ``KeyError``; only non-string
+        names are a ``TypeError``.
+        """
+        if not isinstance(name, str):
+            raise TypeError(f"registry names must be strings, got {name!r}")
+        key = self._normalise(name)
+        if key in self._entries:
+            return key
+        if key in self._aliases:
+            return self._aliases[key]
+        raise KeyError(self._unknown_message(name))
+
+    def get(self, name: str) -> T:
+        """Look up a component, raising a did-you-mean ``KeyError`` on miss."""
+        return self._entries[self.canonical(name)]
+
+    def names(self) -> List[str]:
+        """Sorted canonical names."""
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """Sorted (name, component) pairs."""
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        key = self._normalise(name)
+        return key in self._entries or key in self._aliases
+
+    # --------------------------------------------------------------- dunders
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+    # --------------------------------------------------------------- internal
+    @staticmethod
+    def _normalise(name: str) -> str:
+        return name.strip().lower().replace("-", "_").replace(" ", "_")
+
+    def _unknown_message(self, name: str) -> str:
+        known = sorted(set(self._entries) | set(self._aliases))
+        close = difflib.get_close_matches(self._normalise(name), known, n=3, cutoff=0.5)
+        message = f"unknown {self.kind} {name!r}"
+        if close:
+            message += "; did you mean " + " or ".join(repr(match) for match in close) + "?"
+        else:
+            message += f"; known {self.kind}s: " + ", ".join(sorted(self._entries))
+        return message

@@ -1,0 +1,131 @@
+"""Preset scenario specs for the paper's experiments.
+
+Every experiment runner used to hand-wire the same stacks; these builders
+capture that wiring as data.  Each preserves the exact random-stream layout
+of the original experiment code (which generator each simulator draws from),
+so a preset-built deployment reproduces the legacy results bit-for-bit.
+
+The zero-argument defaults are also registered in :data:`SCENARIOS`, so a
+scenario can be picked by name from configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aoa.estimator import EstimatorConfig
+from repro.api.registry import Registry
+from repro.api.spec import (
+    AccessPointSpec,
+    ArraySpec,
+    AttackerSpec,
+    FenceSpec,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "single_ap_scenario",
+    "three_ap_scenario",
+    "fence_scenario",
+    "spoofing_scenario",
+]
+
+#: The three-AP layout of the fence/mobility/localisation experiments:
+#: the Figure 4 AP plus two more spread across the office so bearing lines
+#: intersect at healthy angles for transmitters on every side.
+THREE_AP_LAYOUT = (
+    ("ap-main", None),
+    ("ap-east", (20.0, 11.0)),
+    ("ap-south", (15.0, 2.5)),
+)
+
+
+def single_ap_scenario(geometry: str = "octagon",
+                       estimator: Optional[EstimatorConfig] = None,
+                       name: str = "single-ap",
+                       ap_name: str = "ap-main",
+                       num_elements: Optional[int] = None,
+                       rng_stream: Optional[int] = None,
+                       seed: int = 42) -> ScenarioSpec:
+    """One AP at the environment's default position (Figures 5-7 wiring)."""
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        estimator=estimator if estimator is not None else EstimatorConfig(),
+        access_points=(AccessPointSpec(
+            name=ap_name,
+            array=ArraySpec(geometry=geometry, num_elements=num_elements),
+            rng_stream=rng_stream,
+        ),),
+    )
+
+
+def three_ap_scenario(estimator: Optional[EstimatorConfig] = None,
+                      name: str = "three-ap",
+                      fence: Optional[FenceSpec] = None,
+                      seed: int = 42) -> ScenarioSpec:
+    """Three circular-array APs across the office (localisation wiring)."""
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        estimator=estimator if estimator is not None else EstimatorConfig(),
+        access_points=tuple(
+            AccessPointSpec(name=ap_name,
+                            position=position,
+                            array=ArraySpec(geometry="octagon"),
+                            rng_stream=index)
+            for index, (ap_name, position) in enumerate(THREE_AP_LAYOUT)
+        ),
+        fence=fence,
+    )
+
+
+def fence_scenario(estimator: Optional[EstimatorConfig] = None,
+                   margin_m: float = 1.0,
+                   seed: int = 42) -> ScenarioSpec:
+    """The virtual-fence evaluation: three APs, a fence, and the strong
+    (directional, outdoor) attacker of the threat model."""
+    spec = three_ap_scenario(estimator=estimator, name="fence",
+                             fence=FenceSpec(margin_m=margin_m), seed=seed)
+    from dataclasses import replace
+
+    return replace(spec, attackers=(
+        AttackerSpec(type="directional", outdoor="street-east",
+                     aim_ap="ap-main"),
+    ))
+
+
+def spoofing_scenario(estimator: Optional[EstimatorConfig] = None,
+                      seed: int = 42) -> ScenarioSpec:
+    """The spoofing evaluation: one circular AP plus the paper's four
+    attacker configurations (Section 1's threat model)."""
+    return ScenarioSpec(
+        name="spoofing",
+        seed=seed,
+        estimator=estimator if estimator is not None else EstimatorConfig(),
+        access_points=(AccessPointSpec(
+            name="ap-main", array=ArraySpec(geometry="octagon"), rng_stream=1),),
+        attackers=(
+            AttackerSpec(type="omnidirectional", at_client=9,
+                         name="omni-indoor"),
+            AttackerSpec(type="omnidirectional", outdoor="street-east",
+                         name="omni-outdoor"),
+            AttackerSpec(type="directional", outdoor="street-east",
+                         aim_ap="ap-main", name="directional-outdoor"),
+            AttackerSpec(type="array", at_client=9,
+                         aim_ap="ap-main", name="array-indoor"),
+        ),
+    )
+
+
+SCENARIOS: Registry[object] = Registry("scenario")
+
+SCENARIOS.register("figure5", lambda: single_ap_scenario(name="figure5"))
+SCENARIOS.register("figure6", lambda: single_ap_scenario(
+    geometry="linear", num_elements=8, name="figure6"))
+SCENARIOS.register("figure7", lambda: single_ap_scenario(
+    geometry="linear", num_elements=8, name="figure7"))
+SCENARIOS.register("three_ap", three_ap_scenario, aliases=("mobility",))
+SCENARIOS.register("fence", fence_scenario)
+SCENARIOS.register("spoofing", spoofing_scenario)

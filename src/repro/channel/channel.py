@@ -89,7 +89,8 @@ class ArrayChannel:
     """
 
     def __init__(self, array: AntennaArray, orientation_deg: float = 0.0,
-                 config: ChannelConfig = ChannelConfig(), rng: RngLike = None):
+                 config: Optional[ChannelConfig] = None, rng: RngLike = None):
+        config = config if config is not None else ChannelConfig()
         self.array = array
         self.orientation_deg = float(orientation_deg)
         self.config = config

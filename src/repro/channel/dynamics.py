@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -80,8 +80,8 @@ class EnvironmentDynamics:
     obtain the same answer — matching how a figure is regenerated.
     """
 
-    def __init__(self, config: DynamicsConfig = DynamicsConfig(), rng: RngLike = None):
-        self.config = config
+    def __init__(self, config: Optional[DynamicsConfig] = None, rng: RngLike = None):
+        self.config = config if config is not None else DynamicsConfig()
         self._rng = ensure_rng(rng)
         # One base seed per instance so per-elapsed-time draws are reproducible
         # without sharing state across calls.

@@ -11,7 +11,7 @@ multi-AP controller can run the virtual-fence application.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.aoa.estimator import AoAEstimate, AoAEstimator, EstimatorConfig
@@ -22,7 +22,12 @@ from repro.core.database import SignatureDatabase
 from repro.core.localization import BearingObservation
 from repro.core.policy import PacketDecision, combine_evidence
 from repro.core.signature import AoASignature, signatures_from_pseudospectra
-from repro.core.spoofing import SpoofingDetector, SpoofingDetectorConfig
+from repro.core.spoofing import (
+    SpoofingCheck,
+    SpoofingDetector,
+    SpoofingDetectorConfig,
+    SpoofingVerdict,
+)
 from repro.core.tracker import SignatureTracker, TrackerConfig
 from repro.geometry.point import Point
 from repro.hardware.capture import Capture
@@ -37,9 +42,12 @@ from repro.mac.frames import Dot11Frame
 class AccessPointConfig:
     """Configuration of one SecureAngle access point."""
 
-    estimator: EstimatorConfig = EstimatorConfig()
-    spoofing: SpoofingDetectorConfig = SpoofingDetectorConfig()
-    tracker: TrackerConfig = TrackerConfig()
+    # Nested configs use default_factory so two AccessPointConfig instances
+    # never alias one shared default object (the class-attribute-default
+    # footgun: a single instance shared by every AP built without overrides).
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    spoofing: SpoofingDetectorConfig = field(default_factory=SpoofingDetectorConfig)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
     #: Default bearing uncertainty (degrees) attached to localisation observations.
     bearing_sigma_deg: float = 3.0
     #: Number of packets averaged when training a certified signature.
@@ -57,13 +65,13 @@ class SecureAngleAP:
 
     def __init__(self, name: str, position: Point, array: AntennaArray,
                  orientation_deg: float = 0.0,
-                 config: AccessPointConfig = AccessPointConfig(),
+                 config: Optional[AccessPointConfig] = None,
                  acl: Optional[AccessControlList] = None):
         self.name = name
         self.position = position
         self.array = array
         self.orientation_deg = float(orientation_deg)
-        self.config = config
+        self.config = config = config if config is not None else AccessPointConfig()
         self.acl = acl if acl is not None else AccessControlList(default_allow=True)
         self.estimator = AoAEstimator(array, config.estimator)
         self.database = SignatureDatabase(keep_history=4)
@@ -118,6 +126,46 @@ class SecureAngleAP:
         return signature
 
     # ------------------------------------------------------------------ packets
+    def check_packet(self, source: MacAddress, observation: AoASignature,
+                     timestamp_s: float, update_signature: bool = True) -> SpoofingCheck:
+        """The shared per-packet policy step: spoofing-check, then track.
+
+        Consults the detector for ``source`` and folds a matching observation
+        back into the certified signature (unless tracking is disabled).
+        Every packet path — the AP's own, the controller's, and the
+        deployment session's — runs exactly this step, so the check/track
+        sequence cannot diverge between them.
+        """
+        check = self.detector.check(source, observation)
+        if update_signature and check.verdict is SpoofingVerdict.MATCH:
+            self.tracker.observe(source, observation, timestamp_s)
+        return check
+
+    def decide(self, source: MacAddress, observation: AoASignature,
+               check: SpoofingCheck, fence=None,
+               fence_check=None) -> PacketDecision:
+        """Assemble the final packet decision from the gathered evidence.
+
+        The single home of the ACL + spoofing + fence evidence combination:
+        the AP's own packet path, the multi-AP controller, and the deployment
+        session all call this, so a new evidence term cannot be added to one
+        front door and silently missed by the others.  ``fence_check`` is the
+        (optional) evaluated :class:`~repro.core.fence.FenceCheck`; ``fence``
+        supplies its fail-open rule.
+        """
+        fence_decision = fence_check.decision if fence_check is not None else None
+        fail_open = fence.fail_open if (fence is not None
+                                        and fence_check is not None) else False
+        return combine_evidence(
+            source=source,
+            acl_permits=self.acl.permits(source),
+            spoofing_verdict=check.verdict,
+            fence_decision=fence_decision,
+            fence_fail_open=fail_open,
+            similarity=check.similarity,
+            bearing_deg=observation.direct_path_bearing_deg,
+        )
+
     def process_packet(self, frame: Dot11Frame, capture: Capture,
                        update_signature: bool = True) -> PacketDecision:
         """Decide what to do with one received frame.
@@ -146,18 +194,9 @@ class SecureAngleAP:
         observations = self.signatures_from_captures(captures)
         decisions: List[PacketDecision] = []
         for frame, capture, observation in zip(frames, captures, observations):
-            acl_permits = self.acl.permits(frame.source)
-            check = self.detector.check(frame.source, observation)
-            if update_signature and check.verdict.value == "match":
-                self.tracker.observe(frame.source, observation, capture.timestamp_s)
-            decisions.append(combine_evidence(
-                source=frame.source,
-                acl_permits=acl_permits,
-                spoofing_verdict=check.verdict,
-                fence_decision=None,
-                similarity=check.similarity,
-                bearing_deg=observation.direct_path_bearing_deg,
-            ))
+            check = self.check_packet(frame.source, observation, capture.timestamp_s,
+                                      update_signature=update_signature)
+            decisions.append(self.decide(frame.source, observation, check))
         return decisions
 
     # ------------------------------------------------------------- localisation

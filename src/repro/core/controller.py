@@ -15,7 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.access_point import SecureAngleAP
 from repro.core.fence import FenceCheck, VirtualFence
 from repro.core.localization import BearingObservation, LocationEstimate, triangulate_bearings
-from repro.core.policy import PacketDecision, combine_evidence
+from repro.core.policy import PacketDecision
 from repro.core.signature import AoASignature
 from repro.hardware.capture import Capture
 from repro.mac.frames import Dot11Frame
@@ -99,6 +99,15 @@ class SecureAngleController:
         ``captures`` maps AP name to that AP's capture of the packet.  The
         ``primary_ap`` (default: the first AP with a capture) runs the
         ACL and spoofing checks; the fence uses every capture.
+
+        ``repro.api.deployment.Deployment._event`` gathers the same evidence
+        from pre-computed estimates (tolerating ambiguous arrays by skipping
+        them); both paths assemble the final decision through the shared
+        :meth:`SecureAngleAP.decide`.  Note that this convenience path
+        estimates the primary AP's spectrum twice when a fence applies (once
+        for the observation, once inside ``fence_check``); high-throughput
+        callers should prefer the deployment session, which computes every
+        estimate exactly once.
         """
         if not captures:
             raise ValueError("at least one capture is required")
@@ -113,26 +122,14 @@ class SecureAngleController:
         estimate = ap.analyze(captures[primary_ap])
         observation = AoASignature.from_pseudospectrum(
             estimate.pseudospectrum, captured_at_s=captures[primary_ap].timestamp_s)
-        check = ap.detector.check(frame.source, observation)
-        if check.verdict.value == "match":
-            ap.tracker.observe(frame.source, observation, captures[primary_ap].timestamp_s)
+        check = ap.check_packet(frame.source, observation,
+                                captures[primary_ap].timestamp_s)
 
-        fence_decision = None
-        fail_open = False
+        fence_result = None
         if self.fence is not None and len(captures) >= 2:
             fence_result = self.fence_check(captures)
-            fence_decision = fence_result.decision
-            fail_open = self.fence.fail_open
-
-        return combine_evidence(
-            source=frame.source,
-            acl_permits=ap.acl.permits(frame.source),
-            spoofing_verdict=check.verdict,
-            fence_decision=fence_decision,
-            fence_fail_open=fail_open,
-            similarity=check.similarity,
-            bearing_deg=observation.direct_path_bearing_deg,
-        )
+        return ap.decide(frame.source, observation, check,
+                         fence=self.fence, fence_check=fence_result)
 
     def __len__(self) -> int:
         return len(self.aps)

@@ -67,9 +67,9 @@ class SpoofingDetector:
     """Compare per-packet signatures against the certified database."""
 
     def __init__(self, database: SignatureDatabase,
-                 config: SpoofingDetectorConfig = SpoofingDetectorConfig()):
+                 config: Optional[SpoofingDetectorConfig] = None):
         self.database = database
-        self.config = config
+        self.config = config if config is not None else SpoofingDetectorConfig()
         self._mismatch_streaks: Dict[MacAddress, int] = {}
 
     def check(self, address: MacAddress, observation: AoASignature) -> SpoofingCheck:

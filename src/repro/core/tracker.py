@@ -16,6 +16,7 @@ anomalies by the detector.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.database import SignatureDatabase
 from repro.core.metrics import signature_similarity
@@ -49,9 +50,10 @@ class TrackerConfig:
 class SignatureTracker:
     """Keep per-client signatures fresh from matching uplink traffic."""
 
-    def __init__(self, database: SignatureDatabase, config: TrackerConfig = TrackerConfig()):
+    def __init__(self, database: SignatureDatabase,
+                 config: Optional[TrackerConfig] = None):
         self.database = database
-        self.config = config
+        self.config = config if config is not None else TrackerConfig()
 
     def observe(self, address: MacAddress, observation: AoASignature,
                 timestamp_s: float) -> bool:

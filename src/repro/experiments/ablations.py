@@ -13,25 +13,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.aoa.estimator import AoAEstimator, EstimatorConfig
-from repro.aoa.phase_interferometry import two_antenna_bearing
-from repro.arrays.geometry import OctagonalArray, UniformLinearArray
+from repro.api import AOA_METHODS, Deployment, single_ap_scenario
 from repro.core.metrics import signature_similarity
 from repro.core.signature import AoASignature
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.angles import angular_difference
-from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.serde import JsonSerializable
 
 
 # --------------------------------------------------------------------------- E7
 @dataclass(frozen=True)
-class CalibrationAblation:
+class CalibrationAblation(JsonSerializable):
     """Median bearing error with and without phase calibration."""
 
     median_error_calibrated_deg: float
@@ -49,12 +47,11 @@ def run_calibration_ablation(client_ids: Sequence[int] = (1, 3, 5, 7, 9),
                              packets_per_client: int = 3,
                              rng: RngLike = 42) -> CalibrationAblation:
     """Measure bearing error with the calibration step enabled and disabled."""
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
-    calibrated_estimator = AoAEstimator(array, EstimatorConfig())
-    uncalibrated_estimator = AoAEstimator(array, EstimatorConfig(require_calibrated=False))
+    deployment = Deployment(single_ap_scenario(name="calibration-ablation"), rng=rng)
+    simulator = deployment.simulator()
+    calibrated_ap = deployment.ap()
+    uncalibrated_estimator = AoAEstimator(calibrated_ap.array,
+                                          EstimatorConfig(require_calibrated=False))
 
     calibrated_errors: List[float] = []
     uncalibrated_errors: List[float] = []
@@ -62,7 +59,7 @@ def run_calibration_ablation(client_ids: Sequence[int] = (1, 3, 5, 7, 9),
         expected = simulator.expected_client_bearing(client_id)
         for index in range(packets_per_client):
             capture = simulator.capture_from_client(client_id, elapsed_s=index * 0.5)
-            with_cal = calibrated_estimator.process(capture, calibration=calibration)
+            with_cal = calibrated_ap.analyze(capture)
             without_cal = uncalibrated_estimator.process(capture)
             calibrated_errors.append(float(angular_difference(with_cal.bearing_deg, expected)))
             uncalibrated_errors.append(float(angular_difference(without_cal.bearing_deg, expected)))
@@ -74,7 +71,7 @@ def run_calibration_ablation(client_ids: Sequence[int] = (1, 3, 5, 7, 9),
 
 # --------------------------------------------------------------------------- E8
 @dataclass(frozen=True)
-class EstimatorComparison:
+class EstimatorComparison(JsonSerializable):
     """Median bearing error per estimation method."""
 
     median_error_by_method_deg: Dict[str, float]
@@ -94,15 +91,16 @@ def run_estimator_comparison(client_ids: Sequence[int] = (13, 14, 17, 18, 19, 20
     Uses the linear-arrangement clients so the two-antenna phase method
     (which reports broadside angles) is directly comparable.
     """
-    environment = figure4_environment()
-    array = UniformLinearArray(num_elements=8)
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
+    deployment = Deployment(single_ap_scenario(
+        geometry="linear", num_elements=8, name="estimator-comparison"), rng=rng)
+    simulator = deployment.simulator()
+    array = deployment.ap().array
+    calibration = deployment.ap().calibration
     estimators = {
-        "music": AoAEstimator(array, EstimatorConfig(method="music")),
-        "capon": AoAEstimator(array, EstimatorConfig(method="capon")),
-        "bartlett": AoAEstimator(array, EstimatorConfig(method="bartlett")),
+        name: AoAEstimator(array, AOA_METHODS.get(name).estimator_config())
+        for name in ("music", "capon", "bartlett")
     }
+    two_antenna = AOA_METHODS.get("phase_interferometry")
 
     errors: Dict[str, List[float]] = {name: [] for name in estimators}
     errors["two-antenna (eq. 1)"] = []
@@ -114,9 +112,8 @@ def run_estimator_comparison(client_ids: Sequence[int] = (13, 14, 17, 18, 19, 20
             for name, estimator in estimators.items():
                 estimate = estimator.process(calibrated)
                 errors[name].append(float(angular_difference(estimate.bearing_deg, expected)))
-            two_antenna = two_antenna_bearing(
-                calibrated.samples[:2], spacing_m=array.spacing, wavelength_m=array.wavelength)
-            errors["two-antenna (eq. 1)"].append(float(angular_difference(two_antenna, expected)))
+            bearing = two_antenna.bearings(calibrated.samples, array)[0]
+            errors["two-antenna (eq. 1)"].append(float(angular_difference(bearing, expected)))
     return EstimatorComparison(
         median_error_by_method_deg={name: float(np.median(values))
                                     for name, values in errors.items()},
@@ -125,7 +122,7 @@ def run_estimator_comparison(client_ids: Sequence[int] = (13, 14, 17, 18, 19, 20
 
 # --------------------------------------------------------------------------- E9
 @dataclass(frozen=True)
-class SnrSweep:
+class SnrSweep(JsonSerializable):
     """Median bearing error versus transmit power."""
 
     median_error_by_tx_power_deg: Dict[float, float]
@@ -142,11 +139,9 @@ def run_snr_sweep(tx_powers_dbm: Sequence[float] = (-80.0, -70.0, -60.0, -45.0, 
                   packets_per_point: int = 3,
                   rng: RngLike = 42) -> SnrSweep:
     """Bearing error as the transmit power (and hence SNR at the AP) is reduced."""
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, EstimatorConfig())
+    deployment = Deployment(single_ap_scenario(name="snr-sweep"), rng=rng)
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     results: Dict[float, float] = {}
     for tx_power in tx_powers_dbm:
@@ -156,7 +151,7 @@ def run_snr_sweep(tx_powers_dbm: Sequence[float] = (-80.0, -70.0, -60.0, -45.0, 
             for index in range(packets_per_point):
                 capture = simulator.capture_from_client(
                     client_id, tx_power_dbm=float(tx_power), elapsed_s=index * 0.5)
-                estimate = estimator.process(capture, calibration=calibration)
+                estimate = ap.analyze(capture)
                 errors.append(float(angular_difference(estimate.bearing_deg, expected)))
         results[float(tx_power)] = float(np.median(errors))
     return SnrSweep(median_error_by_tx_power_deg=results)
@@ -164,7 +159,7 @@ def run_snr_sweep(tx_powers_dbm: Sequence[float] = (-80.0, -70.0, -60.0, -45.0, 
 
 # -------------------------------------------------------------------------- E9b
 @dataclass(frozen=True)
-class PacketsPerSignatureSweep:
+class PacketsPerSignatureSweep(JsonSerializable):
     """Separation between legitimate and attacker similarity versus training size."""
 
     legitimate_similarity_by_packets: Dict[int, float]
@@ -195,16 +190,14 @@ def run_packets_per_signature_sweep(training_sizes: Sequence[int] = (1, 2, 5, 10
                                     rng: RngLike = 42) -> PacketsPerSignatureSweep:
     """How training-set size affects legitimate/attacker signature separation."""
     generator = ensure_rng(rng)
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(),
-                                 rng=spawn_rng(generator, 1))
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, EstimatorConfig())
+    deployment = Deployment(single_ap_scenario(name="packets-per-signature",
+                                               rng_stream=1), rng=generator)
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     def signature_of(client_id: int, elapsed_s: float) -> AoASignature:
         capture = simulator.capture_from_client(client_id, elapsed_s=elapsed_s)
-        estimate = estimator.process(capture, calibration=calibration)
+        estimate = ap.analyze(capture)
         return AoASignature.from_pseudospectrum(estimate.pseudospectrum, captured_at_s=elapsed_s)
 
     legitimate: Dict[int, float] = {}

@@ -17,17 +17,16 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.aoa.estimator import AoAEstimator, EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
+from repro.aoa.estimator import EstimatorConfig
+from repro.api import Deployment, single_ap_scenario
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.angles import angular_difference
 from repro.utils.rng import RngLike
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class AccuracyClaim:
+class AccuracyClaim(JsonSerializable):
     """Per-client single-packet accuracy at a given confidence level."""
 
     per_client_quantile_error_deg: Dict[int, float]
@@ -69,13 +68,12 @@ def evaluate_accuracy_claim(num_packets: int = 10,
         raise ValueError("num_packets must be at least 1")
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be in (0, 1)")
-    environment = figure4_environment()
+    deployment = Deployment(single_ap_scenario(estimator=estimator_config,
+                                               name="accuracy"), rng=rng)
     if client_ids is None:
-        client_ids = environment.client_ids
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+        client_ids = deployment.environment.client_ids
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     per_client: Dict[int, float] = {}
     for client_id in client_ids:
@@ -83,7 +81,7 @@ def evaluate_accuracy_claim(num_packets: int = 10,
         errors: List[float] = []
         for index in range(num_packets):
             capture = simulator.capture_from_client(client_id, elapsed_s=index * 0.5)
-            estimate = estimator.process(capture, calibration=calibration)
+            estimate = ap.analyze(capture)
             errors.append(float(angular_difference(estimate.bearing_deg, expected)))
         per_client[client_id] = float(np.quantile(errors, confidence))
     return AccuracyClaim(per_client_quantile_error_deg=per_client,

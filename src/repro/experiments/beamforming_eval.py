@@ -12,13 +12,13 @@ transmission ... resulting in higher throughput and better reliability".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.aoa.covariance import correlation_matrix
-from repro.aoa.estimator import AoAEstimator, EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
+from repro.aoa.estimator import EstimatorConfig
+from repro.api import Deployment, single_ap_scenario
 from repro.core.beamforming import (
     beamforming_gain_db,
     downlink_channel_vector,
@@ -26,13 +26,12 @@ from repro.core.beamforming import (
     steering_weights,
 )
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.rng import RngLike
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class BeamformingResult:
+class BeamformingResult(JsonSerializable):
     """Per-client downlink gains of AoA-steered and eigen beamforming."""
 
     steering_gain_db_by_client: Dict[int, float]
@@ -63,20 +62,22 @@ def run_beamforming_evaluation(client_ids: Optional[Sequence[int]] = None,
                                estimator_config: Optional[EstimatorConfig] = None,
                                rng: RngLike = 42) -> BeamformingResult:
     """Evaluate downlink beamforming gains derived from uplink AoA."""
-    environment = figure4_environment()
+    deployment = Deployment(single_ap_scenario(estimator=estimator_config,
+                                               name="beamforming"), rng=rng)
+    environment = deployment.environment
     if client_ids is None:
         client_ids = environment.client_ids
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+    simulator = deployment.simulator()
+    ap = deployment.ap()
+    array = ap.array
+    calibration = ap.calibration
 
     steering_gains: Dict[int, float] = {}
     eigen_gains: Dict[int, float] = {}
     for client_id in client_ids:
         capture = simulator.capture_from_client(client_id)
         calibrated = calibration.apply(capture)
-        estimate = estimator.process(calibrated)
+        estimate = ap.analyze(calibrated)
 
         paths = simulator.raytracer.trace(environment.client_position(client_id),
                                           simulator.ap_position)

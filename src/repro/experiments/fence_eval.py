@@ -19,26 +19,21 @@ are known).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.aoa.estimator import EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
-from repro.attacks.attacker import DirectionalAntennaAttacker
-from repro.core.access_point import AccessPointConfig, SecureAngleAP
-from repro.core.controller import SecureAngleController
-from repro.core.fence import FenceDecision, VirtualFence
+from repro.api import Deployment, fence_scenario
+from repro.core.fence import FenceDecision
 from repro.experiments.reporting import format_table
 from repro.geometry.point import Point
-from repro.mac.address import MacAddress
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
-from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class FenceCase:
+class FenceCase(JsonSerializable):
     """One transmitter's outcome."""
 
     label: str
@@ -50,7 +45,7 @@ class FenceCase:
 
 
 @dataclass(frozen=True)
-class FenceEvaluation:
+class FenceEvaluation(JsonSerializable):
     """Outcomes for every transmitter in the evaluation."""
 
     cases: List[FenceCase]
@@ -100,31 +95,13 @@ def run_fence_evaluation(packets_per_transmitter: int = 3,
     if packets_per_transmitter < 1:
         raise ValueError("packets_per_transmitter must be at least 1")
     generator = ensure_rng(rng)
-    environment = figure4_environment()
-    estimator_config = estimator_config or EstimatorConfig()
-
-    # Three APs, per Section 2.3.1's "more than two access points": spreading
-    # them across the office keeps the triangulation geometry well-conditioned
-    # for transmitters on every side of the building.
-    ap_specs = [
-        ("ap-main", environment.ap_position),
-        ("ap-east", Point(20.0, 11.0)),
-        ("ap-south", Point(15.0, 2.5)),
-    ]
-    simulators: Dict[str, TestbedSimulator] = {}
-    aps: List[SecureAngleAP] = []
-    for index, (name, position) in enumerate(ap_specs):
-        array = OctagonalArray()
-        simulator = TestbedSimulator(environment, array, ap_position=position,
-                                     config=SimulatorConfig(), rng=spawn_rng(generator, index))
-        simulators[name] = simulator
-        ap = SecureAngleAP(name=name, position=position, array=array,
-                           config=AccessPointConfig(estimator=estimator_config))
-        ap.set_calibration(simulator.calibration_table())
-        aps.append(ap)
-
-    fence = VirtualFence(environment.building_boundary, margin_m=margin_m)
-    controller = SecureAngleController(aps, fence=fence)
+    # Three APs, per Section 2.3.1's "more than two access points", plus the
+    # fence and the strong attacker — all declared by the fence scenario spec.
+    deployment = Deployment(fence_scenario(estimator=estimator_config,
+                                           margin_m=margin_m), rng=generator)
+    environment = deployment.environment
+    simulators = deployment.simulators
+    controller = deployment.controller
 
     cases: List[FenceCase] = []
 
@@ -161,11 +138,7 @@ def run_fence_evaluation(packets_per_transmitter: int = 3,
     for label, position in environment.outdoor_positions.items():
         evaluate(f"outdoor-{label}", position)
     # The strong attacker: outdoors with a directional antenna aimed at the main AP.
-    attacker = DirectionalAntennaAttacker(
-        position=environment.outdoor_positions["street-east"],
-        address=MacAddress.random(generator),
-        aim_point=environment.ap_position,
-    )
+    attacker = deployment.attackers["directional-attacker"]
     evaluate("directional-attacker", attacker.position, attacker=attacker)
 
     return FenceEvaluation(cases=cases)

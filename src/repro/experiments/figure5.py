@@ -16,21 +16,20 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.aoa.estimator import AoAEstimator, EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
+from repro.aoa.estimator import EstimatorConfig
+from repro.api import Deployment, single_ap_scenario
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.angles import angular_difference, circular_mean, confidence_interval_halfwidth
 from repro.utils.rng import RngLike
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class ClientBearingRow:
+class ClientBearingRow(JsonSerializable):
     """One client's row of the Figure 5 data."""
 
     client_id: int
@@ -42,7 +41,7 @@ class ClientBearingRow:
 
 
 @dataclass(frozen=True)
-class Figure5Result:
+class Figure5Result(JsonSerializable):
     """The full Figure 5 dataset plus its summary statistics."""
 
     rows: List[ClientBearingRow]
@@ -102,13 +101,12 @@ def run_figure5(num_packets: int = 10,
     """
     if num_packets < 1:
         raise ValueError("num_packets must be at least 1")
-    environment = figure4_environment()
+    deployment = Deployment(single_ap_scenario(estimator=estimator_config,
+                                               name="figure5"), rng=rng)
     if client_ids is None:
-        client_ids = environment.client_ids
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+        client_ids = deployment.environment.client_ids
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     rows: List[ClientBearingRow] = []
     for client_id in client_ids:
@@ -119,7 +117,7 @@ def run_figure5(num_packets: int = 10,
                 timestamp_s=index * inter_packet_gap_s)
             for index in range(num_packets)
         ]
-        estimates = estimator.process_batch(captures, calibration=calibration)
+        estimates = ap.analyze_batch(captures)
         bearings = [estimate.bearing_deg for estimate in estimates]
         mean_bearing = circular_mean(bearings)
         halfwidth = confidence_interval_halfwidth(bearings, confidence=confidence)

@@ -15,20 +15,17 @@ and summarises the drift of the direct-path peak versus the secondary peaks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.aoa.estimator import AoAEstimator, EstimatorConfig
+from repro.aoa.estimator import EstimatorConfig
 from repro.aoa.spectrum import Pseudospectrum
-from repro.arrays.geometry import UniformLinearArray
+from repro.api import Deployment, single_ap_scenario
 from repro.core.metrics import peak_set_distance_deg, spectral_correlation
 from repro.core.signature import signatures_from_pseudospectra
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.rng import RngLike
+from repro.utils.serde import JsonSerializable
 
 #: The time offsets (seconds) of the paper's Figure 6, including one hour and one day.
 DEFAULT_TIME_OFFSETS_S = (0.0, 1.0, 10.0, 100.0, 1000.0, 3600.0, 86400.0)
@@ -38,7 +35,7 @@ DEFAULT_CLIENTS = (2, 5, 10)
 
 
 @dataclass(frozen=True)
-class ClientStability:
+class ClientStability(JsonSerializable):
     """Stability data for one client across the time offsets."""
 
     client_id: int
@@ -63,7 +60,7 @@ class ClientStability:
 
 
 @dataclass(frozen=True)
-class Figure6Result:
+class Figure6Result(JsonSerializable):
     """Stability data for all measured clients."""
 
     clients: Dict[int, ClientStability]
@@ -91,11 +88,11 @@ def run_figure6(client_ids: Sequence[int] = DEFAULT_CLIENTS,
     time_offsets = [float(t) for t in time_offsets_s]
     if not time_offsets or time_offsets[0] != 0.0:
         raise ValueError("time_offsets_s must start with 0 (the reference capture)")
-    environment = figure4_environment()
-    array = UniformLinearArray(num_elements=8)
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+    deployment = Deployment(single_ap_scenario(
+        geometry="linear", num_elements=8, estimator=estimator_config,
+        name="figure6"), rng=rng)
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     clients: Dict[int, ClientStability] = {}
     for client_id in client_ids:
@@ -103,7 +100,7 @@ def run_figure6(client_ids: Sequence[int] = DEFAULT_CLIENTS,
             simulator.capture_from_client(client_id, elapsed_s=offset, timestamp_s=offset)
             for offset in time_offsets
         ]
-        estimates = estimator.process_batch(captures, calibration=calibration)
+        estimates = ap.analyze_batch(captures)
         spectra = [estimate.pseudospectrum for estimate in estimates]
         signatures = signatures_from_pseudospectra(spectra, captured_at_s=time_offsets)
         reference = signatures[0]

@@ -15,19 +15,19 @@ is run on each subarray.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.aoa.batch import BatchAoAEstimator
 from repro.aoa.estimator import EstimatorConfig
 from repro.aoa.spectrum import Pseudospectrum
+from repro.api import Deployment, single_ap_scenario
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.subarray import subarray_samples
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.rng import RngLike
+from repro.utils.serde import JsonSerializable
 
 #: The antenna counts Figure 7 compares.
 DEFAULT_ANTENNA_COUNTS = (2, 4, 6, 8)
@@ -37,7 +37,7 @@ DEFAULT_CLIENT = 12
 
 
 @dataclass(frozen=True)
-class AntennaCountRow:
+class AntennaCountRow(JsonSerializable):
     """Result of processing the capture with one antenna count."""
 
     num_antennas: int
@@ -48,7 +48,7 @@ class AntennaCountRow:
 
 
 @dataclass(frozen=True)
-class Figure7Result:
+class Figure7Result(JsonSerializable):
     """The full antenna-count sweep for one capture."""
 
     client_id: int
@@ -94,10 +94,11 @@ def run_figure7(client_id: int = DEFAULT_CLIENT,
         raise ValueError("the prototype array has at most 8 antennas")
     if num_packets < 1:
         raise ValueError("num_packets must be at least 1")
-    environment = figure4_environment()
-    full_array = UniformLinearArray(num_elements=8)
-    simulator = TestbedSimulator(environment, full_array, config=SimulatorConfig(), rng=rng)
-    calibration = simulator.calibration_table()
+    deployment = Deployment(single_ap_scenario(
+        geometry="linear", num_elements=8, name="figure7"), rng=rng)
+    simulator = deployment.simulator()
+    full_array = deployment.ap().array
+    calibration = deployment.ap().calibration
     expected = simulator.expected_client_bearing(client_id)
 
     captures = [calibration.apply(simulator.capture_from_client(client_id, elapsed_s=i * 0.5))

@@ -10,22 +10,21 @@ and the experiment reports the position error along the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.aoa.estimator import AoAEstimator, EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
+from repro.aoa.estimator import EstimatorConfig
+from repro.api import Deployment, three_ap_scenario
 from repro.core.tracking import MobilityTracker
 from repro.experiments.reporting import format_table
 from repro.geometry.point import Point
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
-from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class MobilityResult:
+class MobilityResult(JsonSerializable):
     """Per-sample tracking errors along a mobility trace."""
 
     true_positions: List[Point]
@@ -75,28 +74,11 @@ def run_mobility_tracking(start: Tuple[float, float] = (9.0, 3.5),
     if packet_interval_s <= 0:
         raise ValueError("packet_interval_s must be positive")
     generator = ensure_rng(rng)
-    environment = figure4_environment()
-    estimator_config = estimator_config or EstimatorConfig()
+    deployment = Deployment(three_ap_scenario(estimator=estimator_config,
+                                              name="mobility"), rng=generator)
+    simulators = deployment.simulators
 
-    ap_specs = [
-        ("ap-main", environment.ap_position),
-        ("ap-east", Point(20.0, 11.0)),
-        ("ap-south", Point(15.0, 2.5)),
-    ]
-    simulators: Dict[str, TestbedSimulator] = {}
-    estimators: Dict[str, AoAEstimator] = {}
-    calibrations = {}
-    channels = {}
-    for index, (name, position) in enumerate(ap_specs):
-        array = OctagonalArray()
-        simulator = TestbedSimulator(environment, array, ap_position=position,
-                                     config=SimulatorConfig(), rng=spawn_rng(generator, index))
-        simulators[name] = simulator
-        estimators[name] = AoAEstimator(array, estimator_config)
-        calibrations[name] = simulator.calibration_table()
-        channels[name] = simulator.channel
-
-    tracker = MobilityTracker({name: position for name, position in ap_specs},
+    tracker = MobilityTracker({name: ap.position for name, ap in deployment.aps.items()},
                               alpha=tracker_alpha, beta=tracker_beta,
                               outlier_threshold_deg=tracker_outlier_threshold_deg)
 
@@ -110,7 +92,7 @@ def run_mobility_tracking(start: Tuple[float, float] = (9.0, 3.5),
         for name, simulator in simulators.items():
             capture = simulator.capture_from_position(position, elapsed_s=timestamp,
                                                       timestamp_s=timestamp)
-            estimate = estimators[name].process(capture, calibration=calibrations[name])
+            estimate = deployment.aps[name].analyze(capture)
             # Circular arrays report local azimuth; the APs are mounted with
             # orientation 0 so the local azimuth is already the global bearing.
             bearings[name] = estimate.bearing_deg

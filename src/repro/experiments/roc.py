@@ -12,22 +12,21 @@ detector threshold, and reports detection and false-alarm rates per threshold
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.aoa.estimator import AoAEstimator, EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
+from repro.aoa.estimator import EstimatorConfig
+from repro.api import Deployment, single_ap_scenario
 from repro.core.metrics import signature_similarity
-from repro.core.signature import AoASignature, signatures_from_pseudospectra
+from repro.core.signature import AoASignature
 from repro.experiments.reporting import format_table
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
-from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class RocPoint:
+class RocPoint(JsonSerializable):
     """Detection and false-alarm rates at one similarity threshold."""
 
     threshold: float
@@ -36,7 +35,7 @@ class RocPoint:
 
 
 @dataclass(frozen=True)
-class SpoofingRoc:
+class SpoofingRoc(JsonSerializable):
     """The full threshold sweep plus the underlying score populations."""
 
     points: List[RocPoint]
@@ -85,21 +84,18 @@ def run_spoofing_roc(victim_client_id: int = 5,
     if thresholds is None:
         thresholds = np.round(np.arange(0.05, 1.0, 0.05), 3)
     generator = ensure_rng(rng)
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(),
-                                 rng=spawn_rng(generator, 1))
-    calibration = simulator.calibration_table()
-    estimator = AoAEstimator(array, estimator_config or EstimatorConfig())
+    deployment = Deployment(single_ap_scenario(estimator=estimator_config,
+                                               name="roc", rng_stream=1),
+                            rng=generator)
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     def signatures_of(client_id: int, elapsed_list: Sequence[float]) -> List[AoASignature]:
         """Batched capture -> spectrum -> signature for one client's packets."""
-        captures = [simulator.capture_from_client(client_id, elapsed_s=elapsed)
+        captures = [simulator.capture_from_client(client_id, elapsed_s=elapsed,
+                                                  timestamp_s=elapsed)
                     for elapsed in elapsed_list]
-        estimates = estimator.process_batch(captures, calibration=calibration)
-        return signatures_from_pseudospectra(
-            [estimate.pseudospectrum for estimate in estimates],
-            captured_at_s=elapsed_list)
+        return ap.signatures_from_captures(captures)
 
     # Certified signature: average of the training packets.
     training = signatures_of(victim_client_id,

@@ -17,32 +17,24 @@ the client's MAC address.  The evaluation measures, over many packets:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.aoa.estimator import EstimatorConfig
-from repro.arrays.geometry import OctagonalArray
-from repro.attacks.attacker import (
-    AntennaArrayAttacker,
-    Attacker,
-    DirectionalAntennaAttacker,
-    OmnidirectionalAttacker,
-)
+from repro.api import Deployment, spoofing_scenario
 from repro.attacks.spoofing_attack import SpoofingAttack
 from repro.baselines.rss_signalprint import RssSignalprint, RssSpoofingDetector
-from repro.core.access_point import AccessPointConfig, SecureAngleAP
 from repro.core.spoofing import SpoofingVerdict
 from repro.experiments.reporting import format_table
 from repro.geometry.point import Point
 from repro.mac.address import MacAddress
-from repro.testbed.environment import figure4_environment
-from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.serde import JsonSerializable
 
 
 @dataclass(frozen=True)
-class AttackerOutcome:
+class AttackerOutcome(JsonSerializable):
     """Detection statistics for one attacker configuration."""
 
     attacker_name: str
@@ -53,7 +45,7 @@ class AttackerOutcome:
 
 
 @dataclass(frozen=True)
-class SpoofingEvaluation:
+class SpoofingEvaluation(JsonSerializable):
     """Results of the spoofing-detection evaluation."""
 
     victim_client_id: int
@@ -91,17 +83,16 @@ def run_spoofing_evaluation(victim_client_id: int = 5,
     if num_training_packets < 1 or num_test_packets < 1:
         raise ValueError("training and test packet counts must be positive")
     generator = ensure_rng(rng)
-    environment = figure4_environment()
-    array = OctagonalArray()
-    simulator = TestbedSimulator(environment, array, config=SimulatorConfig(),
-                                 rng=spawn_rng(generator, 1))
-    calibration = simulator.calibration_table()
+    # The spoofing scenario carries the paper's four attacker configurations;
+    # the deployment compiles the AP (stream 1 of the master generator, like
+    # the original wiring) and lazily draws attacker addresses from stream 4.
+    deployment = Deployment(spoofing_scenario(estimator=estimator_config),
+                            rng=generator)
+    simulator = deployment.simulator()
+    ap = deployment.ap()
 
     ap_address = MacAddress.random(spawn_rng(generator, 2))
     victim_address = MacAddress.random(spawn_rng(generator, 3))
-    ap = SecureAngleAP(name="ap-main", position=environment.ap_position, array=array,
-                       config=AccessPointConfig(estimator=estimator_config or EstimatorConfig()))
-    ap.set_calibration(calibration)
 
     rss_detector = RssSpoofingDetector(match_threshold_db=6.0)
 
@@ -134,26 +125,11 @@ def run_spoofing_evaluation(victim_client_id: int = 5,
                                     RssSignalprint.from_capture_power([capture.power_dbm()])):
             rss_false_alarms += 1
 
-    # -------------------------------------------------------------- the attackers
-    attacker_rng = spawn_rng(generator, 4)
-    indoor_attack_position = environment.client_position(9)
-    outdoor_attack_position = environment.outdoor_positions["street-east"]
-    attackers: List[Attacker] = [
-        OmnidirectionalAttacker(position=indoor_attack_position,
-                                address=MacAddress.random(attacker_rng),
-                                name="omni-indoor"),
-        OmnidirectionalAttacker(position=outdoor_attack_position,
-                                address=MacAddress.random(attacker_rng),
-                                name="omni-outdoor"),
-        DirectionalAntennaAttacker(position=outdoor_attack_position,
-                                   address=MacAddress.random(attacker_rng),
-                                   aim_point=environment.ap_position,
-                                   name="directional-outdoor"),
-        AntennaArrayAttacker(position=indoor_attack_position,
-                             address=MacAddress.random(attacker_rng),
-                             aim_point=environment.ap_position,
-                             name="array-indoor"),
-    ]
+    # ------------------------------------------------------------ the attackers
+    # Declared in the scenario spec; building them here (after the address
+    # draws above) consumes the same master-generator streams as the original
+    # hand-wired attacker list.
+    attackers = list(deployment.attackers.values())
 
     outcomes: List[AttackerOutcome] = []
     for attacker in attackers:

@@ -49,11 +49,11 @@ class RadioChain:
     """One antenna's receive chain: gain, downconversion, thermal noise."""
 
     def __init__(self, oscillator: LocalOscillator,
-                 config: RadioChainConfig = RadioChainConfig(),
+                 config: Optional[RadioChainConfig] = None,
                  gain_db: Optional[float] = None,
                  rng: RngLike = None):
         self.oscillator = oscillator
-        self.config = config
+        self.config = config = config if config is not None else RadioChainConfig()
         generator = ensure_rng(rng)
         if gain_db is None:
             gain_db = float(generator.normal(0.0, config.gain_mismatch_std_db))

@@ -14,7 +14,7 @@ which is what :mod:`repro.calibration` uses to recover the phase offsets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -36,7 +36,7 @@ class ReceiverConfig:
 
     sample_rate_hz: float = DEFAULT_SAMPLE_RATE_HZ
     carrier_frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ
-    chain_config: RadioChainConfig = RadioChainConfig()
+    chain_config: RadioChainConfig = field(default_factory=RadioChainConfig)
     #: Whether thermal noise is added (disabled by some unit tests that check
     #: phase relationships exactly).
     add_noise: bool = True
@@ -50,11 +50,11 @@ class ArrayReceiver:
     """An N-chain phase-locked receiver attached to an antenna array."""
 
     def __init__(self, array: AntennaArray,
-                 config: ReceiverConfig = ReceiverConfig(),
+                 config: Optional[ReceiverConfig] = None,
                  phase_offsets_rad: Optional[Sequence[float]] = None,
                  rng: RngLike = None):
         self.array = array
-        self.config = config
+        self.config = config = config if config is not None else ReceiverConfig()
         self._rng = ensure_rng(rng)
         num_chains = array.num_elements
         self.oscillators = OscillatorBank(

@@ -12,7 +12,7 @@ exactly as the real prototype feeds buffered WARP samples to Matlab.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.arrays.geometry import AntennaArray
@@ -36,9 +36,11 @@ from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 class SimulatorConfig:
     """Knobs of the end-to-end capture simulation."""
 
-    channel: ChannelConfig = ChannelConfig()
-    receiver: ReceiverConfig = ReceiverConfig()
-    dynamics: DynamicsConfig = DynamicsConfig()
+    # default_factory keeps each SimulatorConfig's nested configs its own
+    # objects instead of one shared class-level default instance.
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    receiver: ReceiverConfig = field(default_factory=ReceiverConfig)
+    dynamics: DynamicsConfig = field(default_factory=DynamicsConfig)
     #: Maximum number of reflected paths kept per capture.
     max_reflections: int = 6
     #: Number of OFDM payload symbols per generated packet.
@@ -58,7 +60,8 @@ class TestbedSimulator:
 
     def __init__(self, environment: TestbedEnvironment, array: AntennaArray,
                  ap_position: Optional[Point] = None, orientation_deg: float = 0.0,
-                 config: SimulatorConfig = SimulatorConfig(), rng: RngLike = None):
+                 config: Optional[SimulatorConfig] = None, rng: RngLike = None):
+        config = config if config is not None else SimulatorConfig()
         self.environment = environment
         self.array = array
         self.ap_position = ap_position if ap_position is not None else environment.ap_position

@@ -1,0 +1,152 @@
+"""The component registries: resolution, aliases, and did-you-mean errors."""
+
+import numpy as np
+import pytest
+
+from repro.aoa.estimator import EstimatorConfig, PARAMETRIC_METHODS, SPECTRAL_METHODS
+from repro.api import (
+    AOA_METHODS,
+    ARRAY_GEOMETRIES,
+    ATTACK_TYPES,
+    ENVIRONMENTS,
+    Registry,
+    SCENARIOS,
+)
+from repro.arrays import OctagonalArray, UniformCircularArray, UniformLinearArray
+from repro.attacks.attacker import (
+    AntennaArrayAttacker,
+    DirectionalAntennaAttacker,
+    OmnidirectionalAttacker,
+)
+
+
+class TestRegistryCore:
+    def test_register_get_and_alias(self):
+        registry = Registry("thing")
+        registry.register("alpha", 1, aliases=("first",))
+        assert registry.get("alpha") == 1
+        assert registry.get("first") == 1
+        assert registry.canonical("first") == "alpha"
+        assert "alpha" in registry and "first" in registry and "beta" not in registry
+
+    def test_names_are_normalised(self):
+        registry = Registry("thing")
+        registry.register("Two-Words", 2)
+        assert registry.get("two_words") == 2
+        assert registry.get("TWO-WORDS") == 2
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("alpha", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("alpha", 2)
+
+    def test_unknown_name_suggests_close_match(self):
+        registry = Registry("thing")
+        registry.register("music", 1)
+        with pytest.raises(KeyError, match="did you mean 'music'"):
+            registry.get("musik")
+
+    def test_unknown_name_lists_known_when_no_close_match(self):
+        registry = Registry("thing")
+        registry.register("music", 1)
+        with pytest.raises(KeyError, match="known things: music"):
+            registry.get("zzzzz")
+
+    def test_decorator_registration(self):
+        registry = Registry("thing")
+
+        @registry.register("fn")
+        def fn():
+            return 7
+
+        assert registry.get("fn")() == 7
+
+    def test_empty_string_misses_instead_of_crashing(self):
+        registry = Registry("thing")
+        registry.register("music", 1)
+        assert "" not in registry
+        with pytest.raises(KeyError, match="unknown thing"):
+            registry.get("")
+        with pytest.raises(TypeError, match="non-empty"):
+            registry.register("", 2)
+
+
+class TestAoAMethods:
+    def test_every_method_name_resolves(self):
+        for name in SPECTRAL_METHODS + PARAMETRIC_METHODS:
+            method = AOA_METHODS.get(name)
+            assert method.name == name
+            assert callable(method.bearings)
+
+    def test_spectral_flags_match_estimator_config(self):
+        for name, method in AOA_METHODS.items():
+            assert method.spectral == (name in SPECTRAL_METHODS)
+            if method.spectral:
+                assert method.estimator_config().method == name
+            else:
+                with pytest.raises(ValueError, match="search-free"):
+                    method.estimator_config()
+
+    def test_unknown_method_raises_with_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'esprit'"):
+            AOA_METHODS.get("espirt")
+
+    def test_estimator_config_rejects_parametric_with_pointer(self):
+        with pytest.raises(ValueError, match="repro.api.AOA_METHODS"):
+            EstimatorConfig(method="esprit")
+
+    def test_all_methods_recover_a_plane_wave_on_a_ula(self, rng):
+        array = UniformLinearArray(num_elements=8)
+        truth = 20.0
+        steering = array.steering_vector(truth)
+        signal = np.exp(1j * 2 * np.pi * rng.random(400))
+        samples = steering[:, None] * signal[None, :]
+        samples = samples + 0.01 * (rng.standard_normal(samples.shape)
+                                    + 1j * rng.standard_normal(samples.shape))
+        for name, method in AOA_METHODS.items():
+            bearings = method.bearings(samples, array, num_sources=1)
+            assert bearings, name
+            assert abs(bearings[0] - truth) < 3.0, name
+
+    def test_parametric_methods_reject_circular_arrays(self):
+        array = OctagonalArray()
+        samples = np.ones((8, 16), dtype=complex)
+        for name in ("root_music", "esprit", "phase_interferometry"):
+            with pytest.raises(TypeError, match="UniformLinearArray"):
+                AOA_METHODS.get(name).bearings(samples, array)
+
+
+class TestArrayGeometries:
+    def test_registered_geometries_build(self):
+        assert isinstance(ARRAY_GEOMETRIES.get("linear")(num_elements=4),
+                          UniformLinearArray)
+        assert isinstance(ARRAY_GEOMETRIES.get("ula")(num_elements=4),
+                          UniformLinearArray)
+        assert isinstance(ARRAY_GEOMETRIES.get("circular")(num_elements=6),
+                          UniformCircularArray)
+        assert isinstance(ARRAY_GEOMETRIES.get("octagon")(), OctagonalArray)
+
+    def test_arbitrary_geometry_takes_positions(self):
+        array = ARRAY_GEOMETRIES.get("arbitrary")(
+            element_positions=[(0.0, 0.0), (0.05, 0.0), (0.0, 0.05)])
+        assert array.num_elements == 3
+
+    def test_unknown_geometry_suggests(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            ARRAY_GEOMETRIES.get("octagonn")
+
+
+class TestAttackTypesAndEnvironments:
+    def test_attack_types_resolve_to_classes(self):
+        assert ATTACK_TYPES.get("omnidirectional") is OmnidirectionalAttacker
+        assert ATTACK_TYPES.get("omni") is OmnidirectionalAttacker
+        assert ATTACK_TYPES.get("directional") is DirectionalAntennaAttacker
+        assert ATTACK_TYPES.get("array") is AntennaArrayAttacker
+
+    def test_environment_and_scenario_registries(self):
+        environment = ENVIRONMENTS.get("figure4")()
+        assert environment.client_ids
+        for name in SCENARIOS.names():
+            spec = SCENARIOS.get(name)()
+            assert spec.access_points, name
