@@ -47,7 +47,7 @@ from repro.hardware.capture import Capture
 from repro.mac.address import MacAddress
 from repro.mac.frames import Dot11Frame
 from repro.testbed.clients import SoekrisClient, make_clients
-from repro.testbed.scenario import TestbedSimulator
+from repro.testbed.scenario import CaptureRequest, TestbedSimulator
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 
 __all__ = ["Deployment", "Packet", "PacketEvent"]
@@ -87,7 +87,13 @@ class PacketEvent:
     location: Optional[LocationEstimate]
     #: Virtual-fence outcome (``None`` when no fence applies).
     fence: Optional[FenceCheck]
-    #: Wall-clock processing time for this packet (batch mean in run_batch).
+    #: Wall-clock processing time attributed to this packet.  Semantics are
+    #: pinned so streaming and batched runs are directly comparable:
+    #: :meth:`Deployment.run` reports each packet's own analysis time, while
+    #: :meth:`Deployment.run_batch` reports the batch mean (total batch time
+    #: divided by the number of packets).  Either way,
+    #: ``1 / mean(latency_s)`` is the pipeline's packets-per-second
+    #: throughput for that run.
     latency_s: float
     metadata: Dict[str, object] = field(default_factory=dict)
 
@@ -329,6 +335,85 @@ class Deployment:
             yield Packet(frame=frame, captures=captures, timestamp_s=timestamp,
                          metadata={"attacker": attacker.name})
 
+    def traffic(self, client_id: Optional[int] = None, *,
+                attacker: Optional[str] = None,
+                victim_address: Optional[MacAddress] = None,
+                num_packets: int = 1, inter_packet_gap_s: float = 0.5,
+                start_s: float = 0.0, payload: bytes = b"uplink",
+                source: Optional[MacAddress] = None) -> List[Packet]:
+        """Synthesize a whole burst of packets through the batched engine.
+
+        The batched counterpart of :meth:`client_packets` /
+        :meth:`attacker_packets`: every AP's captures for the burst are
+        generated in one :meth:`TestbedSimulator.capture_batch` call (cached
+        ray tracing, stacked channel/receiver arithmetic) instead of one
+        Python round trip per packet.  The per-packet rng substreams are
+        spawned in the scalar loop's order, so the returned packets are
+        bit-identical to draining the matching generator.
+
+        Pass ``client_id`` for legitimate uplink traffic, or ``attacker``
+        (the spec attacker's name) plus ``victim_address`` for a spoofed
+        burst.  Feed the result straight to :meth:`run_batch` for an
+        end-to-end batch-fast pass.
+        """
+        if (client_id is None) == (attacker is None):
+            raise ValueError("provide exactly one of client_id or attacker")
+        if num_packets < 1:
+            raise ValueError("num_packets must be at least 1")
+        timestamps = [start_s + index * inter_packet_gap_s
+                      for index in range(num_packets)]
+        if client_id is not None:
+            client = self.clients[client_id]
+            position = self.environment.client_position(client_id)
+            frames: List[Dot11Frame] = []
+            for index in range(num_packets):
+                if source is None:
+                    frames.append(client.make_frame(self.ap_address, payload=payload))
+                else:
+                    frames.append(Dot11Frame(source=source,
+                                             destination=self.ap_address,
+                                             sequence_number=index,
+                                             payload=payload))
+            requests = [
+                CaptureRequest(position=position, frame=frame,
+                               tx_power_dbm=client.tx_power_dbm,
+                               elapsed_s=timestamp, timestamp_s=timestamp,
+                               metadata={"client_id": client_id})
+                for frame, timestamp in zip(frames, timestamps)
+            ]
+            packet_metadata = {"client_id": client_id}
+        else:
+            if victim_address is None:
+                raise ValueError("attacker traffic needs a victim_address")
+            attacker_obj = self.attackers[attacker]
+            attack = SpoofingAttack(attacker=attacker_obj,
+                                    victim_address=victim_address,
+                                    ap_address=self.ap_address,
+                                    num_frames=num_packets)
+            frames = list(attack.iter_frames())
+            requests = [
+                CaptureRequest(position=attacker_obj.position, frame=frame,
+                               tx_power_dbm=attacker_obj.tx_power_dbm,
+                               elapsed_s=timestamp, timestamp_s=timestamp,
+                               attacker=attacker_obj)
+                for frame, timestamp in zip(frames, timestamps)
+            ]
+            packet_metadata = {"attacker": attacker_obj.name}
+        captures_by_ap = {
+            name: simulator.capture_batch(requests)
+            for name, simulator in self.simulators.items()
+        }
+        return [
+            Packet(
+                frame=frames[index],
+                captures={name: captures_by_ap[name][index]
+                          for name in self.simulators},
+                timestamp_s=timestamps[index],
+                metadata=dict(packet_metadata),
+            )
+            for index in range(num_packets)
+        ]
+
     def train(self, address: MacAddress, client_id: int,
               num_packets: Optional[int] = None, inter_packet_gap_s: float = 0.5,
               start_s: float = 0.0, ap_name: Optional[str] = None) -> AoASignature:
@@ -375,8 +460,10 @@ class Deployment:
 
         Every AP sees all of its captures in one ``analyze_batch`` call;
         per-packet policy then runs in arrival order, so tracking state
-        evolves exactly as the streaming path's would.  The reported latency
-        is the batch mean.
+        evolves exactly as the streaming path's would.  Every event's
+        ``latency_s`` is the batch mean (total wall-clock over the batch
+        divided by its size), so ``1 / mean(latency_s)`` is comparable
+        between :meth:`run` and :meth:`run_batch`.
         """
         packets = list(packets)
         if not packets:

@@ -5,9 +5,20 @@ from repro.channel.pathloss import free_space_path_loss_db, log_distance_path_lo
 from repro.channel.raytracer import RayTracer
 from repro.channel.dynamics import DynamicsConfig, EnvironmentDynamics
 from repro.channel.noise import awgn, measure_snr_db, noise_power_for_snr
-from repro.channel.channel import ArrayChannel, ChannelConfig
+from repro.channel.channel import (
+    ArrayChannel,
+    ChannelConfig,
+    fractional_delay,
+    fractional_delay_batch,
+    phase_random_walk,
+    phase_random_walk_batch,
+)
 
 __all__ = [
+    "fractional_delay",
+    "fractional_delay_batch",
+    "phase_random_walk",
+    "phase_random_walk_batch",
     "PathKind",
     "PropagationPath",
     "free_space_path_loss_db",

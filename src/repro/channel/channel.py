@@ -28,7 +28,7 @@ effects break this coherence in the real system and are modelled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +43,11 @@ from repro.constants import (
 from repro.utils.decibels import dbm_to_watts
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_positive
+
+#: Delays smaller than this (in samples) skip the FFT delay filter entirely,
+#: so the undelayed reference path is returned untouched rather than put
+#: through a lossless-but-rounding FFT round trip.
+_DELAY_EPSILON_SAMPLES = 1e-12
 
 
 @dataclass(frozen=True)
@@ -134,31 +139,204 @@ class ArrayChannel:
                 raise ValueError(
                     f"path_fading must have shape ({len(paths)},), got {path_fading.shape}")
         generator = ensure_rng(rng) if rng is not None else self._rng
+        return self._propagate_one(waveform, paths, tx_power_dbm, path_fading,
+                                   generator)
 
-        tx_amplitude = float(np.sqrt(dbm_to_watts(tx_power_dbm)))
-        lambda_m = self.config.wavelength
+    def propagate_batch(self, waveforms: Sequence[np.ndarray],
+                        paths_batch: Sequence[Sequence[PropagationPath]],
+                        tx_power_dbm: float = 15.0,
+                        path_fading: Optional[Sequence[Optional[np.ndarray]]] = None,
+                        rngs: Optional[Sequence[RngLike]] = None) -> np.ndarray:
+        """Propagate a whole batch of packets in one vectorized pass.
+
+        Returns the noiseless ``(B, num_antennas, num_samples)`` received
+        signals for ``B`` packets.  The output is bit-identical to calling
+        :meth:`propagate` once per packet, provided the same per-packet
+        generators are supplied: pass ``rngs`` as one generator per packet
+        (pinned rng substreams), or leave it ``None`` to consume the
+        channel's own generator packet by packet exactly as a scalar loop
+        would.
+
+        Parameters
+        ----------
+        waveforms:
+            ``B`` unit-power transmit waveforms of equal length (a ``(B, S)``
+            array or a sequence of 1-D arrays).
+        paths_batch:
+            One path set per packet; path counts may differ between packets.
+        tx_power_dbm:
+            Transmit power, shared by the batch or one value per packet.
+        path_fading:
+            Optional per-packet fading factor arrays (``None`` entries allowed).
+        rngs:
+            Optional per-packet generators for the stochastic phase walks.
+        """
+        waveform_matrix = np.asarray(waveforms, dtype=complex)
+        if waveform_matrix.ndim != 2:
+            raise ValueError(
+                f"waveforms must stack into a (B, S) matrix, got shape {waveform_matrix.shape}")
+        batch_size, num_samples = waveform_matrix.shape
+        if batch_size == 0:
+            raise ValueError("waveforms must contain at least one packet")
+        if num_samples == 0:
+            raise ValueError("waveforms must not be empty")
+        paths_batch = [list(paths) for paths in paths_batch]
+        if len(paths_batch) != batch_size:
+            raise ValueError(
+                f"expected {batch_size} path sets, got {len(paths_batch)}")
+        if any(not paths for paths in paths_batch):
+            raise ValueError("every packet needs at least one propagation path")
+        tx_powers = np.broadcast_to(np.asarray(tx_power_dbm, dtype=float),
+                                    (batch_size,))
+        if path_fading is None:
+            fading_batch: List[Optional[np.ndarray]] = [None] * batch_size
+        else:
+            fading_batch = list(path_fading)
+            if len(fading_batch) != batch_size:
+                raise ValueError(
+                    f"expected {batch_size} path_fading entries, got {len(fading_batch)}")
+        if rngs is None:
+            generators = [self._rng] * batch_size
+        else:
+            generators = [ensure_rng(rng) for rng in rngs]
+            if len(generators) != batch_size:
+                raise ValueError(
+                    f"expected {batch_size} rng substreams, got {len(generators)}")
+
         num_antennas = self.array.num_elements
-        num_samples = waveform.size
-        received = np.zeros((num_antennas, num_samples), dtype=complex)
+        max_paths = max(len(paths) for paths in paths_batch)
+        lambda_m = self.config.wavelength
+        # Per-(packet, path) steering vectors, complex coefficients, and
+        # relative delays, zero-padded up to the largest path count.  Padded
+        # entries carry zero coefficients and zero steering responses, so they
+        # add exact complex zeros and cannot perturb the bit pattern.  A
+        # static client repeats one path set for the whole burst, so the
+        # geometry-only quantities (steering, dry coefficients, delays) are
+        # computed once per distinct path set and reused.
+        steering = np.zeros((batch_size, max_paths, num_antennas), dtype=complex)
+        coefficients = np.zeros((batch_size, max_paths), dtype=complex)
+        delays = np.zeros((batch_size, max_paths), dtype=float)
+        geometry_memo: dict = {}
+        for index, paths in enumerate(paths_batch):
+            count = len(paths)
+            fading = fading_batch[index]
+            if fading is not None:
+                fading = np.asarray(fading, dtype=complex)
+                if fading.shape != (count,):
+                    raise ValueError(
+                        f"path_fading[{index}] must have shape ({count},), "
+                        f"got {fading.shape}")
+            memo_key = (tuple(id(path) for path in paths), float(tx_powers[index]))
+            cached = geometry_memo.get(memo_key)
+            if cached is None:
+                cached = (
+                    self._steering_stack(paths, lambda_m),
+                    self._path_coefficients(paths, float(tx_powers[index]),
+                                            None, lambda_m),
+                    self._relative_delays(paths),
+                )
+                geometry_memo[memo_key] = cached
+            path_steering, dry_coefficients, relative_delays = cached
+            steering[index, :count] = path_steering
+            if fading is None:
+                coefficients[index, :count] = dry_coefficients
+            else:
+                # Same grouping as the scalar path: (amplitude * carrier
+                # phase), then * fading.
+                coefficients[index, :count] = dry_coefficients * fading
+            if self.config.apply_path_delays:
+                delays[index, :count] = relative_delays
 
+        if self.config.apply_path_delays:
+            modulated = fractional_delay_batch(waveform_matrix[:, None, :], delays)
+        else:
+            modulated = np.broadcast_to(
+                waveform_matrix[:, None, :],
+                (batch_size, max_paths, num_samples))
+        if self.config.path_phase_walk_std_rad > 0:
+            walks = np.empty((batch_size, max_paths, num_samples), dtype=complex)
+            if any(len(paths) != max_paths for paths in paths_batch):
+                # Padded rows multiply zero-coefficient paths; any finite
+                # value works, and 1.0 keeps them inert.
+                walks[:] = 1.0
+            for index, paths in enumerate(paths_batch):
+                walks[index, :len(paths)] = phase_random_walk_batch(
+                    len(paths), num_samples, self.config.path_phase_walk_std_rad,
+                    generators[index])
+            modulated = modulated * walks
+        # Coefficients folded into the steering stack; one (B, N, P) @
+        # (B, P, S) contraction sums the per-path outer products.  np.matmul
+        # runs the identical GEMM per batch item, so this is bit-identical to
+        # the scalar path's per-packet matmul.
+        weighted = steering * coefficients[:, :, None]
+        return np.matmul(weighted.transpose(0, 2, 1), modulated)
+
+    # ---------------------------------------------------------------- internals
+    def _relative_delays(self, paths: Sequence[PropagationPath]) -> np.ndarray:
+        """Per-path delays in samples, relative to the earliest arrival."""
         reference_delay = min(path.delay_s for path in paths)
+        return np.array([
+            (path.delay_s - reference_delay) * self.config.sample_rate_hz
+            for path in paths
+        ])
+
+    def _steering_stack(self, paths: Sequence[PropagationPath],
+                        lambda_m: float) -> np.ndarray:
+        """Per-path steering vectors hoisted into one (P, N) matrix."""
+        positions = self.array.element_positions
+        return np.stack([
+            steering_vector(positions, path.aoa_deg - self.orientation_deg, lambda_m)
+            for path in paths
+        ])
+
+    def _path_coefficients(self, paths: Sequence[PropagationPath],
+                           tx_power_dbm: float,
+                           path_fading: Optional[np.ndarray],
+                           lambda_m: float) -> np.ndarray:
+        """Complex per-path amplitude * carrier-phase * fading coefficients.
+
+        The fading factors multiply the dry coefficients as one array
+        operation; the batch path applies fading to memoized dry coefficients
+        the same way, keeping both bit-identical.
+        """
+        tx_amplitude = float(np.sqrt(dbm_to_watts(tx_power_dbm)))
+        coefficients = np.empty(len(paths), dtype=complex)
         for index, path in enumerate(paths):
-            local_azimuth = path.aoa_deg - self.orientation_deg
-            response = steering_vector(self.array.element_positions, local_azimuth, lambda_m)
             carrier_phase = np.exp(-1j * path.carrier_phase_rad(lambda_m))
             amplitude = tx_amplitude * path.amplitude
-            contribution = waveform
-            if self.config.apply_path_delays:
-                delay_samples = (path.delay_s - reference_delay) * self.config.sample_rate_hz
-                contribution = fractional_delay(contribution, delay_samples)
-            if self.config.path_phase_walk_std_rad > 0:
-                contribution = contribution * phase_random_walk(
-                    num_samples, self.config.path_phase_walk_std_rad, generator)
-            fading = 1.0 + 0.0j
-            if path_fading is not None:
-                fading = complex(path_fading[index])
-            received += np.outer(response, amplitude * carrier_phase * fading * contribution)
-        return received
+            coefficients[index] = amplitude * carrier_phase
+        if path_fading is not None:
+            coefficients = coefficients * np.asarray(path_fading, dtype=complex)
+        return coefficients
+
+    def _propagate_one(self, waveform: np.ndarray,
+                       paths: Sequence[PropagationPath], tx_power_dbm: float,
+                       path_fading: Optional[np.ndarray],
+                       generator: np.random.Generator) -> np.ndarray:
+        lambda_m = self.config.wavelength
+        num_samples = waveform.size
+        steering = self._steering_stack(paths, lambda_m)
+        coefficients = self._path_coefficients(paths, tx_power_dbm, path_fading,
+                                               lambda_m)
+        if self.config.apply_path_delays:
+            delays = self._relative_delays(paths)
+            modulated = fractional_delay_batch(waveform, delays)
+        else:
+            modulated = np.broadcast_to(waveform, (len(paths), num_samples))
+        if self.config.path_phase_walk_std_rad > 0:
+            # Named walks: an anonymous temporary could be elided into an
+            # in-place complex multiply, breaking batch/scalar bit-exactness.
+            walks = phase_random_walk_batch(
+                len(paths), num_samples, self.config.path_phase_walk_std_rad,
+                generator)
+            modulated = modulated * walks
+        # Fold the per-path coefficients into the steering matrix (P*N values)
+        # instead of scaling the (P, S) waveforms, then contract with one
+        # (N, P) @ (P, S) GEMM.  The batch path runs the same GEMM per packet
+        # (np.matmul over a stack), so scalar and batched propagation stay
+        # bit-identical.
+        weighted = steering * coefficients[:, None]
+        return np.matmul(weighted.T, modulated)
 
     def expected_local_bearing(self, global_bearing_deg: float) -> float:
         """Map a global bearing to the bearing the array's estimator reports.
@@ -187,13 +365,91 @@ def fractional_delay(waveform: np.ndarray, delay_samples: float) -> np.ndarray:
     waveform = np.asarray(waveform, dtype=complex)
     if waveform.ndim != 1:
         raise ValueError("waveform must be 1-D")
-    if abs(delay_samples) < 1e-12:
+    if abs(delay_samples) < _DELAY_EPSILON_SAMPLES:
         return waveform.copy()
     n = waveform.size
     spectrum = np.fft.fft(waveform)
     frequencies = np.fft.fftfreq(n)
-    shifted = spectrum * np.exp(-2j * np.pi * frequencies * delay_samples)
+    # Named ramp: see fractional_delay_batch for why the temporary must not
+    # be elided into an in-place complex multiply.
+    ramp = np.exp(-2j * np.pi * frequencies * delay_samples)
+    shifted = spectrum * ramp
     return np.fft.ifft(shifted)
+
+
+def fractional_delay_batch(waveforms: np.ndarray,
+                           delay_samples: np.ndarray) -> np.ndarray:
+    """Apply many fractional delays in one FFT round trip.
+
+    ``waveforms`` is ``(..., S)`` and ``delay_samples`` broadcasts against its
+    leading dimensions; each output row is the matching waveform delayed by
+    its own (possibly fractional) sample count.  Two common shapes:
+
+    * one waveform, many delays — ``waveforms`` of shape ``(S,)`` with
+      ``delay_samples`` of shape ``(P,)`` gives ``(P, S)`` (the per-path
+      delays of one packet);
+    * a batch — ``waveforms`` of shape ``(B, 1, S)`` with delays ``(B, P)``
+      gives ``(B, P, S)`` (per-path delays for every packet of a batch).
+
+    Each row is bit-identical to :func:`fractional_delay` on the same inputs:
+    the FFT and inverse FFT process rows independently, the phase ramp is
+    evaluated with the same operation order, and near-zero delays return the
+    waveform untouched instead of an FFT round trip.
+    """
+    waveforms = np.asarray(waveforms, dtype=complex)
+    if waveforms.ndim == 0 or waveforms.shape[-1] == 0:
+        raise ValueError("waveforms must have at least one sample")
+    delays = np.asarray(delay_samples, dtype=float)
+    n = waveforms.shape[-1]
+    lead_shape = np.broadcast_shapes(waveforms.shape[:-1], delays.shape)
+    out_shape = lead_shape + (n,)
+    delays = np.broadcast_to(delays, lead_shape)
+    spectra = np.fft.fft(waveforms, axis=-1)
+    ramp = _delay_ramps(delays, n)
+    # The ramp is a named array, never an anonymous temporary: numpy would
+    # elide a >256 KB temporary into an in-place complex multiply, whose
+    # rounding differs in the last ulp from the out-of-place loop and would
+    # break bit-exactness between batch sizes.
+    shifted = np.broadcast_to(spectra, out_shape) * ramp
+    delayed = np.fft.ifft(shifted, axis=-1)
+    passthrough = np.abs(delays) < _DELAY_EPSILON_SAMPLES
+    if np.any(passthrough):
+        delayed[passthrough] = np.broadcast_to(waveforms, out_shape)[passthrough]
+    return delayed
+
+
+def _delay_ramps(delays: np.ndarray, n: int) -> np.ndarray:
+    """Linear-phase delay ramps ``exp(-2j*pi*f*d)`` for a stack of delays.
+
+    A burst from a static client repeats the same per-path delays for every
+    packet, so the ramps are computed once per *unique* trailing row and
+    gathered back — the transcendentals are the expensive part.  The phase is
+    evaluated with the same operand grouping as :func:`fractional_delay`
+    (``(-2*pi*f) * d``), and ``cos + 1j*sin`` of a real phase is bit-identical
+    to ``exp`` of the equivalent purely imaginary argument, so every row
+    matches the scalar helper exactly.
+    """
+    frequencies = np.fft.fftfreq(n)
+    base = -2.0 * np.pi * frequencies
+    if delays.ndim <= 1:
+        unique = delays.reshape(1, -1) if delays.ndim else delays.reshape(1, 1)
+        phases = base * unique[..., None]
+        ramps = np.empty(phases.shape, dtype=complex)
+        ramps.real = np.cos(phases)
+        ramps.imag = np.sin(phases)
+        return ramps.reshape(delays.shape + (n,))
+    rows = delays.reshape(-1, delays.shape[-1])
+    unique, inverse = np.unique(rows, axis=0, return_inverse=True)
+    phases = base * unique[..., None]
+    ramps = np.empty(phases.shape, dtype=complex)
+    ramps.real = np.cos(phases)
+    ramps.imag = np.sin(phases)
+    if unique.shape[0] == 1:
+        # Static-client bursts repeat one delay row; broadcast a read-only
+        # view instead of materialising B copies.
+        return np.broadcast_to(ramps[0], delays.shape + (n,))
+    gathered = ramps[inverse.reshape(-1)]
+    return gathered.reshape(delays.shape + (n,))
 
 
 def phase_random_walk(num_samples: int, step_std_rad: float,
@@ -214,3 +470,40 @@ def phase_random_walk(num_samples: int, step_std_rad: float,
     steps[0] = 0.0
     phase = initial + np.cumsum(steps)
     return np.exp(1j * phase)
+
+
+def phase_random_walk_batch(num_walks: int, num_samples: int,
+                            step_std_rad: float,
+                            rng: RngLike = None) -> np.ndarray:
+    """Stack of ``num_walks`` independent random-walk phase processes.
+
+    Returns a ``(num_walks, num_samples)`` complex matrix.  The random draws
+    are made walk by walk in the same order as repeated calls to
+    :func:`phase_random_walk` on the same generator (one uniform initial
+    phase, then the step sequence), so the result is bit-identical to the
+    scalar loop — but the cumulative sum and complex exponential, the actual
+    compute, run once over the whole stack.
+    """
+    if num_walks <= 0:
+        raise ValueError("num_walks must be positive")
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if step_std_rad < 0:
+        raise ValueError("step_std_rad must be non-negative")
+    generator = ensure_rng(rng)
+    # Draw order (per walk: initial phase, then steps) matches repeated calls
+    # to phase_random_walk on the same generator; the Figure 6 stability
+    # reproduction is pinned to this stream layout, so it must not change.
+    initials = np.empty(num_walks)
+    steps = np.empty((num_walks, num_samples))
+    for walk in range(num_walks):
+        initials[walk] = generator.uniform(0.0, 2.0 * np.pi)
+        steps[walk] = generator.normal(0.0, step_std_rad, size=num_samples)
+    steps[:, 0] = 0.0
+    phases = initials[:, None] + np.cumsum(steps, axis=1)
+    # cos + 1j*sin of the real phase is bit-identical to exp(1j*phase) and
+    # roughly twice as fast (no complex-exp scalar loop).
+    walks = np.empty(phases.shape, dtype=complex)
+    walks.real = np.cos(phases)
+    walks.imag = np.sin(phases)
+    return walks

@@ -47,6 +47,12 @@ class LocalOscillator:
             phase_offset_rad = float(generator.uniform(0.0, 2.0 * np.pi))
         self.phase_offset_rad = float(phase_offset_rad) % (2.0 * np.pi)
         self.frequency_offset_hz = float(frequency_offset_hz)
+        # One-slot cache for the downconversion factor: packets of a burst all
+        # have the same length and sample rate, and the oscillator's phase is
+        # constant, so the per-sample complex exponential can be reused across
+        # every capture instead of being re-evaluated per packet.
+        self._mixer_cache_key: Optional[tuple] = None
+        self._mixer_cache: Optional[np.ndarray] = None
 
     def mixer_phase(self, num_samples: int, sample_rate_hz: float) -> np.ndarray:
         """Phase (radians) the downconverting mixer applies to each sample."""
@@ -56,13 +62,29 @@ class LocalOscillator:
         t = np.arange(num_samples) / sample_rate_hz
         return self.phase_offset_rad + 2.0 * np.pi * self.frequency_offset_hz * t
 
+    def mixer_conjugate(self, num_samples: int, sample_rate_hz: float) -> np.ndarray:
+        """The (cached, read-only) downconversion factor ``exp(-1j * phase)``.
+
+        Memoized per ``(num_samples, sample_rate_hz)`` with a one-slot cache:
+        the oscillator's phase never changes after construction, so the value
+        is a pure function of the request and identical across packets.
+        """
+        key = (int(num_samples), float(sample_rate_hz))
+        if self._mixer_cache_key != key:
+            phase = self.mixer_phase(num_samples, sample_rate_hz)
+            mixer = np.exp(-1j * phase)
+            mixer.flags.writeable = False
+            self._mixer_cache_key = key
+            self._mixer_cache = mixer
+        return self._mixer_cache
+
     def downconvert(self, samples: np.ndarray, sample_rate_hz: float) -> np.ndarray:
         """Apply the oscillator's phase (and any frequency error) to ``samples``."""
         samples = np.asarray(samples, dtype=complex)
         if samples.ndim != 1:
             raise ValueError("samples must be 1-D (a single chain's signal)")
-        phase = self.mixer_phase(samples.size, sample_rate_hz)
-        return samples * np.exp(-1j * phase)
+        mixer = self.mixer_conjugate(samples.size, sample_rate_hz)
+        return samples * mixer
 
     @property
     def is_phase_locked(self) -> bool:
@@ -114,6 +136,18 @@ class OscillatorBank:
         """Per-chain offsets relative to chain 0 — what calibration recovers."""
         offsets = self.phase_offsets_rad
         return np.mod(offsets - offsets[0], 2.0 * np.pi)
+
+    def mixer_table(self, num_samples: int, sample_rate_hz: float) -> np.ndarray:
+        """Stacked per-chain downconversion factors, shape (num_chains, S).
+
+        Each row is the matching oscillator's (cached)
+        :meth:`LocalOscillator.mixer_conjugate`, so a batched receiver can
+        downconvert every chain of every packet in one broadcast multiply.
+        """
+        return np.stack([
+            oscillator.mixer_conjugate(num_samples, sample_rate_hz)
+            for oscillator in self.oscillators
+        ])
 
     def __getitem__(self, index: int) -> LocalOscillator:
         return self.oscillators[index]

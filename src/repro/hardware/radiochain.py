@@ -65,6 +65,29 @@ class RadioChain:
         """Voltage gain of the chain (relative to the nominal chain gain)."""
         return 10.0 ** (self.gain_db / 20.0)
 
+    @property
+    def noise_sigma(self) -> float:
+        """Per-quadrature thermal-noise standard deviation at the chain input."""
+        return float(np.sqrt(self.config.noise_power_watts / 2.0))
+
+    def sample_noise(self, num_samples: int, rng: RngLike = None) -> np.ndarray:
+        """Draw one packet's complex thermal-noise vector for this chain.
+
+        Used by :meth:`receive` for standalone (single-chain) use.  Note that
+        :class:`~repro.hardware.receiver.ArrayReceiver` draws its noise per
+        *packet* (all chains in two block draws, see
+        ``ArrayReceiver._packet_noise``), not per chain through this method,
+        so the two layouts consume their generators differently.
+        """
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        sigma = self.noise_sigma
+        # Filling real/imag parts directly is bit-identical to
+        # ``normal(...) + 1j * normal(...)`` and skips two temporaries.
+        noise = np.empty(num_samples, dtype=complex)
+        noise.real = generator.normal(0.0, sigma, num_samples)
+        noise.imag = generator.normal(0.0, sigma, num_samples)
+        return noise
+
     def receive(self, samples: np.ndarray, sample_rate_hz: float,
                 add_noise: bool = True, rng: RngLike = None) -> np.ndarray:
         """Pass ``samples`` (one antenna's noiseless signal) through the chain."""
@@ -74,10 +97,7 @@ class RadioChain:
         generator = ensure_rng(rng) if rng is not None else self._rng
         output = self.gain_linear * self.oscillator.downconvert(samples, sample_rate_hz)
         if add_noise:
-            noise_power = self.config.noise_power_watts
-            sigma = np.sqrt(noise_power / 2.0)
-            noise = generator.normal(0.0, sigma, samples.size) + \
-                1j * generator.normal(0.0, sigma, samples.size)
+            noise = self.sample_noise(samples.size, rng=generator)
             output = output + noise
         return output
 

@@ -69,6 +69,10 @@ class ArrayReceiver:
             for i in range(num_chains)
         ]
         self.switch = RFSwitch(num_chains)
+        # One-slot cache for the fused per-chain gain * downconversion table,
+        # keyed by packet length (the sample rate is fixed per receiver).
+        self._frontend_cache_key: Optional[int] = None
+        self._frontend_cache: Optional[np.ndarray] = None
 
     @property
     def num_chains(self) -> int:
@@ -97,6 +101,82 @@ class ArrayReceiver:
         return self._receive(antenna_signals, timestamp_s, metadata, add_noise, rng,
                              calibrated=False)
 
+    def capture_batch(self, antenna_signals: np.ndarray,
+                      timestamps_s: Optional[Sequence[float]] = None,
+                      metadata: Optional[Sequence[Optional[dict]]] = None,
+                      add_noise: Optional[bool] = None,
+                      rngs: Optional[Sequence[RngLike]] = None) -> List[Capture]:
+        """Receive a whole batch of packets in one vectorized pass.
+
+        ``antenna_signals`` is ``(B, num_antennas, num_samples)``: the stacked
+        noiseless outputs of :meth:`ArrayChannel.propagate_batch`.  Gain and
+        downconversion are applied as one broadcast multiply over the batch;
+        thermal noise is drawn packet by packet from ``rngs`` (one pinned
+        generator per packet) with the same per-chain substreams as
+        :meth:`capture`, so each returned :class:`Capture` is bit-identical
+        to the scalar path given the same generators.
+        """
+        signals = np.asarray(antenna_signals, dtype=complex)
+        if signals.ndim != 3 or signals.shape[1] != self.num_chains:
+            raise ValueError(
+                f"expected (B, {self.num_chains}, T) antenna signals, "
+                f"got {signals.shape}")
+        batch_size, _, num_samples = signals.shape
+        if batch_size == 0:
+            raise ValueError("capture_batch needs at least one packet")
+        if add_noise is None:
+            add_noise = self.config.add_noise
+        if timestamps_s is None:
+            timestamps = [0.0] * batch_size
+        else:
+            timestamps = [float(t) for t in timestamps_s]
+            if len(timestamps) != batch_size:
+                raise ValueError(
+                    f"expected {batch_size} timestamps, got {len(timestamps)}")
+        if metadata is None:
+            metadata_list: List[Optional[dict]] = [None] * batch_size
+        else:
+            metadata_list = list(metadata)
+            if len(metadata_list) != batch_size:
+                raise ValueError(
+                    f"expected {batch_size} metadata entries, got {len(metadata_list)}")
+        if rngs is None:
+            generators = [self._rng] * batch_size
+        else:
+            generators = [ensure_rng(rng) for rng in rngs]
+            if len(generators) != batch_size:
+                raise ValueError(
+                    f"expected {batch_size} rng substreams, got {len(generators)}")
+
+        self.switch.set_all(SwitchPosition.ANTENNA)
+        # One broadcast multiply applies every chain's gain and downconversion
+        # to the whole batch; the scalar path uses the same fused table, so
+        # both stay bit-identical.
+        frontend = self._frontend_table(num_samples)
+        received = signals * frontend[None, :, :]
+        if add_noise:
+            noise = np.empty_like(received)
+            for index, generator in enumerate(generators):
+                self._packet_noise(generator, num_samples, out=noise[index])
+            # In-place add: elementwise addition is correctly rounded, so the
+            # result is bit-identical to the scalar path's out-of-place sum.
+            np.add(received, noise, out=received)
+        # Capture samples are read-only views into one shared batch buffer:
+        # skipping B copies keeps capture cheap, and freezing the buffer
+        # guarantees no consumer can corrupt a sibling packet in place.
+        received.flags.writeable = False
+        return [
+            Capture(
+                samples=received[index],
+                sample_rate_hz=self.config.sample_rate_hz,
+                carrier_frequency_hz=self.config.carrier_frequency_hz,
+                timestamp_s=timestamps[index],
+                calibrated=False,
+                metadata=dict(metadata_list[index] or {}),
+            )
+            for index in range(batch_size)
+        ]
+
     def capture_calibration(self, source: CalibrationSource,
                             num_samples: int = 1024,
                             timestamp_s: float = 0.0,
@@ -116,17 +196,59 @@ class ArrayReceiver:
         return capture
 
     # ---------------------------------------------------------------- internals
+    def _frontend_table(self, num_samples: int) -> np.ndarray:
+        """Fused per-chain ``gain * mixer_conjugate`` factors, shape (N, S).
+
+        The scalar and batched receive paths multiply signals by this same
+        table, which keeps them bit-identical while applying both front-end
+        effects in a single pass.
+        """
+        if self._frontend_cache_key != num_samples:
+            mixers = self.oscillators.mixer_table(num_samples,
+                                                  self.config.sample_rate_hz)
+            gains = np.array([chain.gain_linear for chain in self.chains])
+            frontend = gains[:, None] * mixers
+            frontend.flags.writeable = False
+            self._frontend_cache_key = num_samples
+            self._frontend_cache = frontend
+        return self._frontend_cache
+
+    def _packet_noise(self, generator: np.random.Generator, num_samples: int,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+        """One packet's thermal noise for every chain, shape (N, S).
+
+        Drawn as two block draws (all real parts, then all imaginary parts)
+        from the packet's generator.  numpy fills row-major, so the same
+        helper produces the same noise in the scalar and batched receive
+        paths — which is what keeps them bit-identical.
+        """
+        sigmas = [chain.noise_sigma for chain in self.chains]
+        noise = out if out is not None else np.empty(
+            (self.num_chains, num_samples), dtype=complex)
+        if len(set(sigmas)) == 1:
+            shape = (self.num_chains, num_samples)
+            noise.real = generator.normal(0.0, sigmas[0], shape)
+            noise.imag = generator.normal(0.0, sigmas[0], shape)
+        else:
+            # Heterogeneous chains: per-row draws in the same (all-real,
+            # all-imaginary) order as the block draw above.
+            for index, sigma in enumerate(sigmas):
+                noise.real[index] = generator.normal(0.0, sigma, num_samples)
+            for index, sigma in enumerate(sigmas):
+                noise.imag[index] = generator.normal(0.0, sigma, num_samples)
+        return noise
+
     def _receive(self, signals: np.ndarray, timestamp_s: float,
                  metadata: Optional[dict], add_noise: Optional[bool],
                  rng: RngLike, calibrated: bool) -> Capture:
         if add_noise is None:
             add_noise = self.config.add_noise
         generator = ensure_rng(rng) if rng is not None else self._rng
-        received = np.empty_like(signals)
-        for index, chain in enumerate(self.chains):
-            received[index] = chain.receive(
-                signals[index], self.config.sample_rate_hz,
-                add_noise=add_noise, rng=spawn_rng(generator, stream=index))
+        frontend = self._frontend_table(signals.shape[-1])
+        received = signals * frontend
+        if add_noise:
+            noise = self._packet_noise(generator, signals.shape[-1])
+            np.add(received, noise, out=received)
         return Capture(
             samples=received,
             sample_rate_hz=self.config.sample_rate_hz,

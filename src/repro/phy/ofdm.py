@@ -10,7 +10,7 @@ performed over a whole packet of wideband samples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -90,23 +90,56 @@ class OfdmModulator:
         """QPSK-modulate ``bits`` onto as many OFDM symbols as needed.
 
         Bits are padded with zeros to fill the final symbol.  Returns the
-        concatenated time-domain samples.
+        concatenated time-domain samples.  All symbols are synthesised in one
+        stacked IFFT (bit-identical to modulating them one at a time, since
+        the FFT processes rows independently).
         """
-        bits = np.asarray(bits).astype(int).ravel()
-        if bits.size == 0:
-            raise ValueError("payload must contain at least one bit")
-        if np.any((bits != 0) & (bits != 1)):
-            raise ValueError("bits must be 0 or 1")
+        return self.modulate_payload_batch([bits])[0]
+
+    def modulate_payload_batch(self, bits_batch: Sequence[np.ndarray]
+                               ) -> List[np.ndarray]:
+        """Modulate many payloads with one stacked IFFT over all symbols.
+
+        Each entry is processed exactly like :meth:`modulate_payload`
+        (bit-identical — the IFFT treats rows independently), but the OFDM
+        symbols of the whole batch share a single FFT call, which is what
+        makes burst synthesis fast.
+        """
         bits_per_symbol = 2 * self.config.num_occupied
-        remainder = bits.size % bits_per_symbol
-        if remainder:
-            bits = np.concatenate([bits, np.zeros(bits_per_symbol - remainder, dtype=int)])
-        symbols = []
-        for start in range(0, bits.size, bits_per_symbol):
-            chunk = bits[start:start + bits_per_symbol]
-            qpsk = _qpsk_map(chunk)
-            symbols.append(self.modulate_symbol(qpsk))
-        return np.concatenate(symbols)
+        prepared: List[np.ndarray] = []
+        symbol_counts: List[int] = []
+        for bits in bits_batch:
+            bits = np.asarray(bits).astype(int).ravel()
+            if bits.size == 0:
+                raise ValueError("payload must contain at least one bit")
+            if np.any((bits != 0) & (bits != 1)):
+                raise ValueError("bits must be 0 or 1")
+            remainder = bits.size % bits_per_symbol
+            if remainder:
+                bits = np.concatenate(
+                    [bits, np.zeros(bits_per_symbol - remainder, dtype=int)])
+            prepared.append(bits)
+            symbol_counts.append(bits.size // bits_per_symbol)
+        if not prepared:
+            return []
+        total_symbols = sum(symbol_counts)
+        qpsk = _qpsk_map(np.concatenate(prepared)).reshape(
+            total_symbols, self.config.num_occupied)
+        occupied = tuple(self.config.occupied_subcarriers)
+        bins = np.array([subcarrier % self.config.fft_size for subcarrier in occupied])
+        spectra = np.zeros((total_symbols, self.config.fft_size), dtype=complex)
+        spectra[:, bins] = qpsk
+        scale = np.sqrt(self.config.fft_size / max(len(occupied), 1))
+        symbols = np.fft.ifft(spectra, axis=-1) * scale
+        if self.config.cyclic_prefix > 0:
+            symbols = np.concatenate(
+                [symbols[:, -self.config.cyclic_prefix:], symbols], axis=1)
+        payloads: List[np.ndarray] = []
+        start = 0
+        for count in symbol_counts:
+            payloads.append(symbols[start:start + count].ravel())
+            start += count
+        return payloads
 
     def random_payload(self, num_symbols: int, rng: RngLike = None) -> np.ndarray:
         """Generate ``num_symbols`` OFDM symbols of random QPSK data."""

@@ -10,13 +10,13 @@ bound to) and the raw samples the estimator consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.mac.frames import Dot11Frame
 from repro.phy.ofdm import OfdmConfig, OfdmModulator
-from repro.phy.preamble import legacy_preamble
+from repro.phy.preamble import _legacy_preamble_cached
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
@@ -68,6 +68,70 @@ def make_packet_waveform(frame: Optional[Dot11Frame] = None,
     num_payload_symbols = require_positive_int(num_payload_symbols, "num_payload_symbols")
     generator = ensure_rng(rng)
     modulator = OfdmModulator(config)
+    bits = _packet_bits(frame, num_payload_symbols, config, generator)
+    payload = modulator.modulate_payload(bits)
+    # The cached preamble is read-only and shared; np.concatenate copies it
+    # into the fresh packet buffer, so no caller can corrupt the cache.
+    waveform = np.concatenate([_legacy_preamble_cached(config.fft_size), payload])
+    return PhyPacket(waveform, frame, config).normalized()
+
+
+def make_packet_waveforms(frames: Sequence[Optional[Dot11Frame]],
+                          num_payload_symbols: int = 20,
+                          config: OfdmConfig = OfdmConfig(),
+                          rngs: Optional[Sequence[RngLike]] = None
+                          ) -> List[PhyPacket]:
+    """Build a whole burst of PHY packets with one stacked payload IFFT.
+
+    Bit-identical to calling :func:`make_packet_waveform` once per frame with
+    the matching generator (payload/padding bits are drawn frame by frame in
+    the same order; the stacked OFDM modulation treats symbols row-wise), but
+    the modulation cost is amortised across the burst.
+    """
+    num_payload_symbols = require_positive_int(num_payload_symbols, "num_payload_symbols")
+    frames = list(frames)
+    if rngs is None:
+        generators = [ensure_rng(None) for _ in frames]
+    else:
+        generators = [ensure_rng(rng) for rng in rngs]
+        if len(generators) != len(frames):
+            raise ValueError(
+                f"expected {len(frames)} rng substreams, got {len(generators)}")
+    modulator = OfdmModulator(config)
+    bits_batch = [
+        _packet_bits(frame, num_payload_symbols, config, generator)
+        for frame, generator in zip(frames, generators)
+    ]
+    payloads = modulator.modulate_payload_batch(bits_batch)
+    preamble = _legacy_preamble_cached(config.fft_size)
+    if len({payload.size for payload in payloads}) > 1:
+        # Oversized frames grow their packets; assemble those one by one.
+        return [
+            PhyPacket(np.concatenate([preamble, payload]), frame, config).normalized()
+            for frame, payload in zip(frames, payloads)
+        ]
+    # Uniform burst: assemble and normalise every packet in one matrix.  Each
+    # row sees the same elementwise operations as the scalar path (row-wise
+    # mean, correctly-rounded sqrt and division), so packets stay
+    # bit-identical to make_packet_waveform.
+    matrix = np.empty((len(frames), preamble.size + payloads[0].size),
+                      dtype=complex)
+    matrix[:, :preamble.size] = preamble
+    matrix[:, preamble.size:] = payloads
+    powers = np.mean(np.abs(matrix) ** 2, axis=1)
+    if np.any(powers <= 0):
+        raise ValueError("cannot normalise a zero-power waveform")
+    scales = np.sqrt(powers)
+    matrix /= scales[:, None]
+    return [
+        PhyPacket(matrix[index], frame, config)
+        for index, frame in enumerate(frames)
+    ]
+
+
+def _packet_bits(frame: Optional[Dot11Frame], num_payload_symbols: int,
+                 config: OfdmConfig, generator: np.random.Generator) -> np.ndarray:
+    """The payload bits of one packet: frame bits plus random padding."""
     bits_per_symbol = 2 * config.num_occupied
     total_bits = num_payload_symbols * bits_per_symbol
     if frame is not None:
@@ -76,9 +140,5 @@ def make_packet_waveform(frame: Optional[Dot11Frame] = None,
             # Keep the packet length fixed; long frames simply use more symbols.
             total_bits = int(np.ceil(frame_bits.size / bits_per_symbol)) * bits_per_symbol
         padding = generator.integers(0, 2, size=total_bits - frame_bits.size)
-        bits = np.concatenate([frame_bits, padding])
-    else:
-        bits = generator.integers(0, 2, size=total_bits)
-    payload = modulator.modulate_payload(bits)
-    waveform = np.concatenate([legacy_preamble(config), payload])
-    return PhyPacket(waveform, frame, config).normalized()
+        return np.concatenate([frame_bits, padding])
+    return generator.integers(0, 2, size=total_bits)

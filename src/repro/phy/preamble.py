@@ -8,6 +8,8 @@ fine timing.  The subcarrier sequences below are the standard 802.11a values.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.phy.ofdm import OfdmConfig
@@ -45,27 +47,54 @@ def _sequence_to_spectrum(sequence: np.ndarray, fft_size: int) -> np.ndarray:
     return spectrum
 
 
-def short_training_field(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
-    """Time-domain short training field: 160 samples (10 x 16) at 20 MHz."""
-    spectrum = _sequence_to_spectrum(_STF_SEQUENCE, config.fft_size)
-    base = np.fft.ifft(spectrum) * np.sqrt(config.fft_size / 12.0)
+@lru_cache(maxsize=8)
+def _short_training_field_cached(fft_size: int) -> np.ndarray:
+    spectrum = _sequence_to_spectrum(_STF_SEQUENCE, fft_size)
+    base = np.fft.ifft(spectrum) * np.sqrt(fft_size / 12.0)
     # The STF is periodic with period fft_size/4 = 16 samples; two and a half
     # base symbols give the standard 160-sample field.
-    repeated = np.tile(base, 3)[: config.fft_size * 2 + config.fft_size // 2]
+    repeated = np.tile(base, 3)[: fft_size * 2 + fft_size // 2].copy()
+    repeated.flags.writeable = False
     return repeated
+
+
+@lru_cache(maxsize=8)
+def _long_training_field_cached(fft_size: int) -> np.ndarray:
+    spectrum = _sequence_to_spectrum(_LTF_SEQUENCE, fft_size)
+    symbol = np.fft.ifft(spectrum) * np.sqrt(fft_size / 52.0)
+    cyclic_prefix = symbol[-fft_size // 2:]
+    field = np.concatenate([cyclic_prefix, symbol, symbol])
+    field.flags.writeable = False
+    return field
+
+
+@lru_cache(maxsize=8)
+def _legacy_preamble_cached(fft_size: int) -> np.ndarray:
+    """Read-only cached preamble — the hot path for packet synthesis.
+
+    The training fields are pure functions of the FFT size, so packet
+    generation never needs to re-run their IFFTs.  Callers must not mutate
+    the returned array; the public wrappers below hand out fresh copies.
+    """
+    preamble = np.concatenate([_short_training_field_cached(fft_size),
+                               _long_training_field_cached(fft_size)])
+    preamble.flags.writeable = False
+    return preamble
+
+
+def short_training_field(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
+    """Time-domain short training field: 160 samples (10 x 16) at 20 MHz."""
+    return _short_training_field_cached(config.fft_size).copy()
 
 
 def long_training_field(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
     """Time-domain long training field: 160 samples (32-sample CP + 2 symbols)."""
-    spectrum = _sequence_to_spectrum(_LTF_SEQUENCE, config.fft_size)
-    symbol = np.fft.ifft(spectrum) * np.sqrt(config.fft_size / 52.0)
-    cyclic_prefix = symbol[-config.fft_size // 2:]
-    return np.concatenate([cyclic_prefix, symbol, symbol])
+    return _long_training_field_cached(config.fft_size).copy()
 
 
 def legacy_preamble(config: OfdmConfig = OfdmConfig()) -> np.ndarray:
     """Full 802.11a/g legacy preamble: STF followed by LTF (320 samples)."""
-    return np.concatenate([short_training_field(config), long_training_field(config)])
+    return _legacy_preamble_cached(config.fft_size).copy()
 
 
 def stf_period(config: OfdmConfig = OfdmConfig()) -> int:

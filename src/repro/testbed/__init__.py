@@ -2,13 +2,14 @@
 
 from repro.testbed.environment import TestbedEnvironment, figure4_environment
 from repro.testbed.clients import SoekrisClient, make_clients
-from repro.testbed.scenario import TestbedSimulator, SimulatorConfig
+from repro.testbed.scenario import CaptureRequest, TestbedSimulator, SimulatorConfig
 
 __all__ = [
     "TestbedEnvironment",
     "figure4_environment",
     "SoekrisClient",
     "make_clients",
+    "CaptureRequest",
     "TestbedSimulator",
     "SimulatorConfig",
 ]

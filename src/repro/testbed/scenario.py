@@ -12,13 +12,17 @@ exactly as the real prototype feeds buffered WARP samples to Matlab.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.arrays.geometry import AntennaArray
 from repro.attacks.attacker import Attacker
 from repro.channel.channel import ArrayChannel, ChannelConfig
 from repro.channel.dynamics import DynamicsConfig, EnvironmentDynamics
+from repro.channel.path import PropagationPath
 from repro.channel.raytracer import RayTracer
 from repro.geometry.point import Point
 from repro.hardware.capture import Capture
@@ -27,7 +31,7 @@ from repro.hardware.reference import CalibrationSource
 from repro.calibration.procedure import calibrate_receiver
 from repro.calibration.table import CalibrationTable
 from repro.mac.frames import Dot11Frame
-from repro.phy.packet import make_packet_waveform
+from repro.phy.packet import PhyPacket, make_packet_waveform, make_packet_waveforms
 from repro.testbed.environment import TestbedEnvironment
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 
@@ -47,12 +51,44 @@ class SimulatorConfig:
     payload_symbols: int = 20
     #: Default transmit power when the transmitter does not specify one.
     default_tx_power_dbm: float = 15.0
+    #: Memoize ray-traced paths per (tx position, environment-dynamics epoch).
+    #: Exact: tracing is pure geometry and the dynamics evolve a path set
+    #: deterministically per elapsed time, so cached entries are bit-identical
+    #: to re-tracing.  Static clients stop paying the ray tracer per packet.
+    cache_paths: bool = True
+    #: Maximum number of cached path sets before old epochs are evicted.
+    path_cache_size: int = 1024
+    #: Reuse one modulated waveform per (frame, payload length) instead of
+    #: drawing fresh random payload/padding bits for every packet.  This is a
+    #: throughput mode that *changes the rng semantics* (repeated packets
+    #: share payload bits), so it is off by default; batched and scalar
+    #: captures remain bit-identical to each other either way.  It only pays
+    #: off for repeated identical frames (frameless probe bursts, a fixed
+    #: training frame) — client uplink mints a fresh sequence number per
+    #: packet, which is a distinct cache key by design.  Bounded by
+    #: ``path_cache_size`` entries (FIFO eviction).
+    reuse_waveforms: bool = False
 
     def __post_init__(self) -> None:
         if self.max_reflections < 0:
             raise ValueError("max_reflections must be non-negative")
         if self.payload_symbols < 1:
             raise ValueError("payload_symbols must be at least 1")
+        if self.path_cache_size < 1:
+            raise ValueError("path_cache_size must be at least 1")
+
+
+@dataclass(frozen=True)
+class CaptureRequest:
+    """One packet of a batched capture: who transmits, from where, and when."""
+
+    position: Point
+    frame: Optional[Dot11Frame] = None
+    tx_power_dbm: Optional[float] = None
+    elapsed_s: float = 0.0
+    attacker: Optional[Attacker] = None
+    timestamp_s: Optional[float] = None
+    metadata: Optional[dict] = None
 
 
 class TestbedSimulator:
@@ -80,6 +116,15 @@ class TestbedSimulator:
         self.dynamics = EnvironmentDynamics(config.dynamics, rng=spawn_rng(self._rng, 13))
         self.calibration_source = CalibrationSource(num_outputs=array.num_elements)
         self._calibration: Optional[CalibrationTable] = None
+        # Path cache: (x, y, elapsed_s) -> traced-and-evolved path list.  The
+        # epoch (elapsed time) is part of the key, so dynamic environments
+        # invalidate naturally: a new elapsed time is a new entry, and the
+        # same elapsed time always maps to the same deterministic path set.
+        self._path_cache: "OrderedDict[Tuple[float, float, float], List[PropagationPath]]" = \
+            OrderedDict()
+        self._path_cache_hits = 0
+        self._path_cache_misses = 0
+        self._waveform_cache: "OrderedDict[tuple, PhyPacket]" = OrderedDict()
 
     # -------------------------------------------------------------- calibration
     def calibration_table(self, num_samples: int = 4096) -> CalibrationTable:
@@ -121,35 +166,100 @@ class TestbedSimulator:
         """
         if tx_power_dbm is None:
             tx_power_dbm = self.config.default_tx_power_dbm
-        paths = self.raytracer.trace(position, self.ap_position)
-        if elapsed_s > 0:
-            paths = self.dynamics.paths_at(paths, elapsed_s)
-        if attacker is not None:
-            paths = attacker.shape_paths(paths)
-        packet = make_packet_waveform(frame, num_payload_symbols=self.config.payload_symbols,
-                                      rng=spawn_rng(self._rng, 21))
+        paths = self._resolve_paths(position, elapsed_s, attacker)
+        packet = self._packet_waveform(frame, rng=spawn_rng(self._rng, 21))
         fading = self.dynamics.fast_fading_jitter(
             len(paths), decorrelation=1.0, rng=spawn_rng(self._rng, 22))
         signals = self.channel.propagate(packet.waveform, paths,
                                          tx_power_dbm=tx_power_dbm, path_fading=fading,
                                          rng=spawn_rng(self._rng, 23))
-        capture_metadata = {
-            "tx_position": position.as_tuple(),
-            "ground_truth_bearing_deg": self.ap_position.bearing_to(position),
-            "num_paths": len(paths),
-        }
-        if frame is not None:
-            capture_metadata["source_mac"] = str(frame.source)
-        if attacker is not None:
-            capture_metadata["attacker"] = attacker.name
-        if metadata:
-            capture_metadata.update(metadata)
+        capture_metadata = self._capture_metadata(position, frame, attacker,
+                                                  paths, metadata)
         return self.receiver.capture(
             signals,
             timestamp_s=elapsed_s if timestamp_s is None else timestamp_s,
             metadata=capture_metadata,
             rng=spawn_rng(self._rng, 24),
         )
+
+    def capture_batch(self, requests: Sequence[CaptureRequest]) -> List[Capture]:
+        """Simulate a whole batch of packets in one vectorized pass.
+
+        The per-packet random substreams (payload bits, fast fading, path
+        phase walks, receiver noise) are spawned from the simulator's master
+        generator in exactly the order the scalar loop spawns them, so the
+        returned captures are bit-identical to calling
+        :meth:`capture_from_position` once per request — but ray tracing hits
+        the path cache, waveforms are modulated with one stacked IFFT each,
+        and the channel and receiver arithmetic run batched.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        paths_batch: List[List[PropagationPath]] = []
+        tx_powers: List[float] = []
+        fadings: List[np.ndarray] = []
+        waveform_rngs: List[np.random.Generator] = []
+        channel_rngs: List[np.random.Generator] = []
+        receiver_rngs: List[np.random.Generator] = []
+        timestamps: List[float] = []
+        metadata_list: List[dict] = []
+        for request in requests:
+            tx_power = (self.config.default_tx_power_dbm
+                        if request.tx_power_dbm is None else request.tx_power_dbm)
+            paths = self._resolve_paths(request.position, request.elapsed_s,
+                                        request.attacker)
+            # Substreams are spawned per packet in the scalar loop's order
+            # (21 waveform, 22 fading, 23 channel, 24 receiver); the waveform
+            # generator is consumed later, which changes nothing — a spawned
+            # child is independent of when it is drawn from.
+            waveform_rngs.append(spawn_rng(self._rng, 21))
+            fading = self.dynamics.fast_fading_jitter(
+                len(paths), decorrelation=1.0, rng=spawn_rng(self._rng, 22))
+            channel_rngs.append(spawn_rng(self._rng, 23))
+            receiver_rngs.append(spawn_rng(self._rng, 24))
+            paths_batch.append(paths)
+            tx_powers.append(tx_power)
+            fadings.append(fading)
+            timestamps.append(request.elapsed_s if request.timestamp_s is None
+                              else request.timestamp_s)
+            metadata_list.append(self._capture_metadata(
+                request.position, request.frame, request.attacker, paths,
+                request.metadata))
+        if self.config.reuse_waveforms:
+            waveforms = [
+                self._packet_waveform(request.frame, rng=generator).waveform
+                for request, generator in zip(requests, waveform_rngs)
+            ]
+        else:
+            waveforms = [
+                packet.waveform for packet in make_packet_waveforms(
+                    [request.frame for request in requests],
+                    num_payload_symbols=self.config.payload_symbols,
+                    rngs=waveform_rngs)
+            ]
+
+        # Packets of one batch normally share a waveform length; oversized
+        # frames grow their packet, so group by length and batch per group.
+        captures: List[Optional[Capture]] = [None] * len(requests)
+        by_length: "OrderedDict[int, List[int]]" = OrderedDict()
+        for index, waveform in enumerate(waveforms):
+            by_length.setdefault(waveform.size, []).append(index)
+        for indices in by_length.values():
+            signals = self.channel.propagate_batch(
+                [waveforms[i] for i in indices],
+                [paths_batch[i] for i in indices],
+                tx_power_dbm=np.array([tx_powers[i] for i in indices]),
+                path_fading=[fadings[i] for i in indices],
+                rngs=[channel_rngs[i] for i in indices])
+            group = self.receiver.capture_batch(
+                signals,
+                timestamps_s=[timestamps[i] for i in indices],
+                metadata=[metadata_list[i] for i in indices],
+                rngs=[receiver_rngs[i] for i in indices])
+            for i, capture in zip(indices, group):
+                captures[i] = capture
+        return list(captures)  # type: ignore[arg-type]
 
     def capture_from_client(self, client_id: int, frame: Optional[Dot11Frame] = None,
                             tx_power_dbm: Optional[float] = None,
@@ -181,6 +291,133 @@ class TestbedSimulator:
             captures.append(self.capture_from_client(
                 client_id, frame=frame, elapsed_s=elapsed, timestamp_s=elapsed))
         return captures
+
+    def capture_burst_batch(self, client_id: int, num_packets: int,
+                            inter_packet_gap_s: float = 0.5,
+                            frame: Optional[Dot11Frame] = None) -> List[Capture]:
+        """Batched :meth:`capture_burst`: same captures, one vectorized pass.
+
+        Bit-identical to the scalar burst on the same simulator state (the
+        per-packet rng substreams are spawned in the same order); the
+        geometry is traced once and the synthesis arithmetic runs batched.
+        """
+        if num_packets < 1:
+            raise ValueError("num_packets must be at least 1")
+        if inter_packet_gap_s < 0:
+            raise ValueError("inter_packet_gap_s must be non-negative")
+        position = self.environment.client_position(client_id)
+        requests = [
+            CaptureRequest(
+                position=position,
+                frame=frame,
+                elapsed_s=index * inter_packet_gap_s,
+                timestamp_s=index * inter_packet_gap_s,
+                metadata={"client_id": client_id},
+            )
+            for index in range(num_packets)
+        ]
+        return self.capture_batch(requests)
+
+    # -------------------------------------------------------------- path cache
+    def path_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the (position, epoch) path cache."""
+        return {
+            "hits": self._path_cache_hits,
+            "misses": self._path_cache_misses,
+            "size": len(self._path_cache),
+        }
+
+    def clear_path_cache(self) -> None:
+        """Drop all cached path sets (and the waveform reuse cache)."""
+        self._path_cache.clear()
+        self._waveform_cache.clear()
+        self._path_cache_hits = 0
+        self._path_cache_misses = 0
+
+    # ---------------------------------------------------------------- internals
+    def _resolve_paths(self, position: Point, elapsed_s: float,
+                       attacker: Optional[Attacker]) -> List[PropagationPath]:
+        """Trace (or recall) the path set for a transmitter at an epoch.
+
+        Tracing is pure geometry and :meth:`EnvironmentDynamics.paths_at` is
+        deterministic per (path set, elapsed time), so caching is exact.  The
+        attacker's antenna shaping is applied *after* the cache: it depends
+        on the attacker object, and path objects are immutable, so shaping
+        can never corrupt cached entries.
+        """
+        if not self.config.cache_paths:
+            paths = self.raytracer.trace(position, self.ap_position)
+            if elapsed_s > 0:
+                paths = self.dynamics.paths_at(paths, elapsed_s)
+        else:
+            # Hits count avoided ray traces: either the exact (position,
+            # epoch) entry or the epoch-0 base geometry it evolves from.
+            key = (position.x, position.y, float(elapsed_s))
+            cached = self._path_cache.get(key)
+            if cached is not None:
+                self._path_cache_hits += 1
+                paths = cached
+            else:
+                base_key = (position.x, position.y, 0.0)
+                base = self._path_cache.get(base_key)
+                if base is None:
+                    self._path_cache_misses += 1
+                    base = self.raytracer.trace(position, self.ap_position)
+                    self._store_paths(base_key, base)
+                else:
+                    self._path_cache_hits += 1
+                paths = base
+                if elapsed_s > 0:
+                    paths = self.dynamics.paths_at(base, elapsed_s)
+                    self._store_paths(key, paths)
+        if attacker is not None:
+            paths = attacker.shape_paths(paths)
+        return list(paths)
+
+    def _store_paths(self, key: Tuple[float, float, float],
+                     paths: List[PropagationPath]) -> None:
+        self._path_cache[key] = list(paths)
+        while len(self._path_cache) > self.config.path_cache_size:
+            self._path_cache.popitem(last=False)
+
+    def _packet_waveform(self, frame: Optional[Dot11Frame],
+                         rng: RngLike) -> PhyPacket:
+        """Modulate one packet, optionally reusing cached waveforms.
+
+        The rng substream is always spawned by the caller (keeping the master
+        generator's state identical in both modes); with ``reuse_waveforms``
+        the cached modulated packet is returned for repeated (frame, length)
+        keys instead of drawing fresh payload bits.
+        """
+        if not self.config.reuse_waveforms:
+            return make_packet_waveform(
+                frame, num_payload_symbols=self.config.payload_symbols, rng=rng)
+        key = (frame, self.config.payload_symbols)
+        packet = self._waveform_cache.get(key)
+        if packet is None:
+            packet = make_packet_waveform(
+                frame, num_payload_symbols=self.config.payload_symbols, rng=rng)
+            self._waveform_cache[key] = packet
+            while len(self._waveform_cache) > self.config.path_cache_size:
+                self._waveform_cache.popitem(last=False)
+        return packet
+
+    def _capture_metadata(self, position: Point, frame: Optional[Dot11Frame],
+                          attacker: Optional[Attacker],
+                          paths: Sequence[PropagationPath],
+                          metadata: Optional[dict]) -> dict:
+        capture_metadata = {
+            "tx_position": position.as_tuple(),
+            "ground_truth_bearing_deg": self.ap_position.bearing_to(position),
+            "num_paths": len(paths),
+        }
+        if frame is not None:
+            capture_metadata["source_mac"] = str(frame.source)
+        if attacker is not None:
+            capture_metadata["attacker"] = attacker.name
+        if metadata:
+            capture_metadata.update(metadata)
+        return capture_metadata
 
     # ---------------------------------------------------------------- geometry
     def expected_bearing(self, position: Point) -> float:
