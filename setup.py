@@ -19,6 +19,7 @@ setup(
     python_requires=">=3.9",
     install_requires=["numpy>=1.21", "scipy>=1.7"],
     extras_require={
-        "test": ["pytest>=7.0", "pytest-benchmark>=4.0"],
+        "test": ["pytest>=7.0", "pytest-benchmark>=4.0", "pytest-cov>=4.0"],
+        "lint": ["ruff>=0.4"],
     },
 )

@@ -23,11 +23,15 @@ The public API is organised in layers:
   and the scripts that regenerate the paper's figures;
 * ``repro.api`` — the unified front door: declarative ``ScenarioSpec``
   (JSON-serialisable), component registries, and the ``Deployment`` facade
-  with its streaming ``run`` / batched ``run_batch`` sessions.
+  with its streaming ``run`` / batched ``run_batch`` sessions;
+* ``repro.campaign`` — sharded multi-process Monte-Carlo sweeps: declarative
+  ``CampaignSpec`` grids over the experiments, a resumable on-disk result
+  store, and the ``python -m repro`` command line.
 """
 
 from repro.aoa import AoAEstimate, AoAEstimator, EstimatorConfig
 from repro.api import Deployment, Packet, PacketEvent, ScenarioSpec
+from repro.campaign import CampaignSpec, run_campaign
 from repro.arrays import OctagonalArray, UniformCircularArray, UniformLinearArray
 from repro.core import (
     AccessPointConfig,
@@ -59,6 +63,8 @@ __all__ = [
     "TestbedSimulator",
     "figure4_environment",
     "ScenarioSpec",
+    "CampaignSpec",
+    "run_campaign",
     "Deployment",
     "Packet",
     "PacketEvent",

@@ -89,7 +89,8 @@ def diagonal_loading(matrix: np.ndarray, loading_factor: float = 1e-3) -> np.nda
     if loading_factor < 0:
         raise ValueError("loading_factor must be non-negative")
     average_power = float(np.real(np.trace(matrix))) / matrix.shape[0]
-    return matrix + loading_factor * max(average_power, np.finfo(float).tiny) * np.eye(matrix.shape[0])
+    return (matrix
+            + loading_factor * max(average_power, np.finfo(float).tiny) * np.eye(matrix.shape[0]))
 
 
 def signal_noise_subspaces(matrix: np.ndarray, num_sources: int):
@@ -104,7 +105,8 @@ def signal_noise_subspaces(matrix: np.ndarray, num_sources: int):
     num_sources = require_positive_int(num_sources, "num_sources")
     if num_sources >= num_antennas:
         raise ValueError(
-            f"num_sources ({num_sources}) must be smaller than the number of antennas ({num_antennas})")
+            f"num_sources ({num_sources}) must be smaller than the number of "
+            f"antennas ({num_antennas})")
     eigenvalues, eigenvectors = np.linalg.eigh(matrix)
     order = np.argsort(eigenvalues)[::-1]
     eigenvalues = eigenvalues[order]

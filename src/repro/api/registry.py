@@ -10,7 +10,7 @@ with a message pointing at ``"music"`` rather than a bare ``KeyError``.
 from __future__ import annotations
 
 import difflib
-from typing import Callable, Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 

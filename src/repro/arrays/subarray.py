@@ -52,12 +52,14 @@ def subarray_samples(samples: np.ndarray, element_indices: Optional[Sequence[int
     """Select the rows of a (N, T) capture matching a subarray selection."""
     samples = np.asarray(samples)
     if samples.ndim != 2:
-        raise ValueError(f"samples must be a (num_antennas, num_samples) array, got {samples.shape}")
+        raise ValueError(
+            f"samples must be a (num_antennas, num_samples) array, got {samples.shape}")
     if (element_indices is None) == (num_elements is None):
         raise ValueError("supply exactly one of element_indices or num_elements")
     if num_elements is not None:
         if not 2 <= num_elements <= samples.shape[0]:
-            raise ValueError(f"num_elements must be in [2, {samples.shape[0]}], got {num_elements}")
+            raise ValueError(
+                f"num_elements must be in [2, {samples.shape[0]}], got {num_elements}")
         return samples[:num_elements]
     indices = list(element_indices)  # type: ignore[arg-type]
     return samples[indices]

@@ -35,7 +35,6 @@ from repro.channel.path import PropagationPath
 from repro.geometry.point import Point
 from repro.mac.address import MacAddress
 from repro.utils.angles import angular_difference
-from repro.utils.rng import RngLike
 
 
 @dataclass

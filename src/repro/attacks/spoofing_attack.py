@@ -10,7 +10,7 @@ legitimate client's own frames (false-alarm rate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List
 
 from repro.attacks.attacker import Attacker

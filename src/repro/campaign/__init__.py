@@ -1,0 +1,45 @@
+"""Parallel experiment campaigns: sharded multi-process Monte-Carlo sweeps.
+
+Describe a sweep declaratively with :class:`CampaignSpec` (experiment name,
+parameter axes, seed replicates), compile it into canonical
+:class:`ShardSpec` units, and execute them with :func:`run_campaign` across a
+process pool — each worker builds its own deployment and runs the batched
+engine.  Per-shard seeds are fixed at compile time in canonical order, so the
+merged result is bit-identical regardless of worker count or scheduling; a
+:class:`ResultStore` makes runs resumable (atomic per-shard records,
+skip-on-resume).
+
+The paper's figure and evaluation experiments are registered in
+:data:`CAMPAIGNS`; ``python -m repro`` drives everything from the command
+line.
+
+>>> from repro.campaign import get_adapter, run_campaign
+>>> spec = get_adapter("figure5").default_spec(num_packets=2)
+>>> run = run_campaign(spec, workers=4)
+>>> run.result.mean_confidence_halfwidth_deg  # == the serial run's, exactly
+"""
+
+from repro.campaign.adapters import CAMPAIGNS, CampaignAdapter, get_adapter
+from repro.campaign.engine import CampaignRun, execute_shard, run_campaign
+from repro.campaign.spec import CampaignSpec, ShardSpec
+from repro.campaign.store import (
+    CampaignResult,
+    ResultStore,
+    ShardRecord,
+    StoreMismatchError,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignAdapter",
+    "CampaignResult",
+    "CampaignRun",
+    "CampaignSpec",
+    "ResultStore",
+    "ShardRecord",
+    "ShardSpec",
+    "StoreMismatchError",
+    "execute_shard",
+    "get_adapter",
+    "run_campaign",
+]

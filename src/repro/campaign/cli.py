@@ -1,0 +1,284 @@
+"""The ``python -m repro`` command line.
+
+One entry point for the whole results pipeline:
+
+* ``run`` — execute one serial experiment runner and print its table;
+* ``campaign`` — run a sharded campaign (by experiment name or from a spec
+  JSON file) across a worker pool, persisting to a result store;
+* ``resume`` — continue a stored campaign, skipping completed shards;
+* ``report`` — print the merged results of a stored campaign;
+* ``list-scenarios`` — the registered scenarios, campaign experiments, and
+  serial runners.
+
+Parameter overrides use ``key=value`` with JSON-literal values
+(``--param num_packets=2 --axis client_id=1,2,3``), so anything a campaign
+spec can express is reachable from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.api import SCENARIOS
+from repro.campaign.adapters import CAMPAIGNS, get_adapter
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore, ShardRecord
+
+__all__ = ["main", "serial_runners"]
+
+
+def serial_runners() -> Dict[str, Callable[..., Any]]:
+    """The serial experiment runners, by campaign-compatible name."""
+    from repro import experiments
+    from repro.experiments.fence_eval import run_fence_evaluation
+    from repro.experiments.mobility import run_mobility_tracking
+
+    return {
+        "figure5": experiments.run_figure5,
+        "figure6": experiments.run_figure6,
+        "figure7": experiments.run_figure7,
+        "accuracy": experiments.evaluate_accuracy_claim,
+        "roc": experiments.run_spoofing_roc,
+        "spoofing_eval": experiments.run_spoofing_evaluation,
+        "fence_eval": run_fence_evaluation,
+        "mobility": run_mobility_tracking,
+        "beamforming": experiments.run_beamforming_evaluation,
+        "calibration_ablation": experiments.run_calibration_ablation,
+        "estimator_comparison": experiments.run_estimator_comparison,
+        "snr_sweep": experiments.run_snr_sweep,
+        "packets_per_signature": experiments.run_packets_per_signature_sweep,
+    }
+
+
+# ------------------------------------------------------------------- parsing
+def _parse_value(text: str) -> Any:
+    """A CLI value: JSON literal when it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_assignments(pairs: Sequence[str], option: str) -> Dict[str, Any]:
+    """Parse repeated ``key=value`` options."""
+    values: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, text = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"{option} expects key=value, got {pair!r}")
+        values[key] = _parse_value(text)
+    return values
+
+
+def _parse_axes(pairs: Sequence[str]) -> Dict[str, tuple]:
+    """Parse repeated ``--axis name=v1,v2,...`` options."""
+    axes: Dict[str, tuple] = {}
+    for key, text in _parse_assignments(pairs, "--axis").items():
+        if isinstance(text, str):
+            values = tuple(_parse_value(part) for part in text.split(","))
+        elif isinstance(text, list):
+            values = tuple(text)
+        else:
+            values = (text,)
+        axes[key] = values
+    return axes
+
+
+def _load_or_build_spec(args: argparse.Namespace) -> CampaignSpec:
+    """The campaign spec: from a JSON file or an experiment's default grid.
+
+    Only a ``.json`` path is treated as a spec file, so a stray local file
+    that happens to share an experiment's name cannot shadow the registry.
+    """
+    target = args.experiment
+    if target.endswith(".json"):
+        try:
+            spec = CampaignSpec.load_json(target)
+        except FileNotFoundError:
+            raise SystemExit(f"campaign spec file not found: {target}")
+        except (TypeError, ValueError, KeyError) as error:
+            raise SystemExit(f"cannot load campaign spec {target}: {error}")
+    else:
+        spec = get_adapter(target).default_spec()
+    overrides: Dict[str, Any] = {}
+    if args.param:
+        overrides["base"] = _parse_assignments(args.param, "--param")
+    if args.axis:
+        overrides["axes"] = _parse_axes(args.axis)
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(int(seed) for seed in args.seeds.split(","))
+    elif args.num_seeds is not None:
+        overrides["num_seeds"] = int(args.num_seeds)
+    if args.name is not None:
+        overrides["name"] = args.name
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return spec
+
+
+# ------------------------------------------------------------------ printing
+def _print(text: str = "") -> None:
+    print(text)
+
+
+def _print_result(result: Any, heading: str) -> None:
+    _print(heading)
+    table = getattr(result, "as_table", None)
+    if callable(table):
+        _print(table())
+    else:
+        _print(result.to_json() if hasattr(result, "to_json")
+               else json.dumps(result, indent=2))
+
+
+def _progress(completed: int, total: int, record: ShardRecord) -> None:
+    sys.stderr.write(
+        f"[{completed}/{total}] shard {record.index} "
+        f"(replicate {record.replicate}, point {record.point}) "
+        f"done in {record.elapsed_s:.2f}s\n")
+
+
+def _finish_campaign(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    store = ResultStore(args.out) if args.out else None
+    run = run_campaign(spec, workers=args.workers, store=store,
+                       progress=None if args.quiet else _progress)
+    _print(f"campaign {spec.name!r} ({spec.experiment}): "
+           f"{len(run.records)} shard(s), {run.executed} executed, "
+           f"{len(run.results)} replicate(s)")
+    if store is not None:
+        _print(f"result store: {store.root}")
+        _print(f"merged result: {store.merged_path}")
+    for replicate, result in enumerate(run.results):
+        seed = spec.replicate_seeds()[replicate]
+        _print_result(result, f"--- replicate {replicate} (seed {seed}) ---")
+    return 0
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    _print("scenarios (repro.api.SCENARIOS):")
+    for name in SCENARIOS.names():
+        _print(f"  {name}")
+    _print("campaign experiments (python -m repro campaign <name>):")
+    for name in CAMPAIGNS.names():
+        _print(f"  {name}")
+    _print("serial experiments (python -m repro run <name>):")
+    for name in sorted(serial_runners()):
+        _print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runners = serial_runners()
+    if args.experiment not in runners:
+        known = ", ".join(sorted(runners))
+        raise SystemExit(f"unknown experiment {args.experiment!r}; known: {known}")
+    kwargs = _parse_assignments(args.param or (), "--param")
+    if args.seed is not None:
+        kwargs["rng"] = int(args.seed)
+    result = runners[args.experiment](**kwargs)
+    _print_result(result, f"--- {args.experiment} ---")
+    if args.json:
+        path = Path(args.json)
+        result.save_json(path)
+        _print(f"saved JSON result: {path}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return _finish_campaign(_load_or_build_spec(args), args)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    spec = store.require_spec()
+    args.out = args.store
+    return _finish_campaign(spec, args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    spec = store.require_spec()
+    merged = store.load_merged()
+    if merged is None:
+        completed = len(store.completed_indices())
+        raise SystemExit(
+            f"campaign {spec.name!r} has no merged result yet "
+            f"({completed}/{spec.num_shards} shard(s) completed); "
+            f"run: python -m repro resume {store.root}")
+    adapter = get_adapter(spec.experiment)
+    _print(f"campaign {merged.name!r} ({merged.experiment}): "
+           f"{merged.num_shards} shard(s), seeds {list(merged.seeds)}")
+    for replicate, data in enumerate(merged.results):
+        result = adapter.result_type.from_dict(data)
+        seed = merged.seeds[replicate]
+        _print_result(result, f"--- replicate {replicate} (seed {seed}) ---")
+    return 0
+
+
+# --------------------------------------------------------------------- main
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SecureAngle reproduction: experiments, campaigns, reports.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one serial experiment")
+    run.add_argument("experiment", help="experiment name (see list-scenarios)")
+    run.add_argument("--seed", type=int, default=None, help="scenario seed")
+    run.add_argument("--param", action="append", metavar="KEY=VALUE",
+                     help="experiment keyword override (JSON literal value)")
+    run.add_argument("--json", metavar="PATH",
+                     help="also save the result as JSON")
+    run.set_defaults(handler=_cmd_run)
+
+    campaign = commands.add_parser(
+        "campaign", help="run a sharded multi-process campaign")
+    campaign.add_argument("experiment",
+                          help="campaign experiment name or spec JSON path")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker process count (default 1)")
+    campaign.add_argument("--out", metavar="DIR", default=None,
+                          help="result-store directory (enables resume)")
+    campaign.add_argument("--param", action="append", metavar="KEY=VALUE",
+                          help="base parameter override (JSON literal value)")
+    campaign.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                          help="replace one parameter axis")
+    campaign.add_argument("--seeds", default=None,
+                          help="explicit replicate seeds, comma-separated")
+    campaign.add_argument("--num-seeds", type=int, default=None,
+                          help="derive this many replicate seeds from the master")
+    campaign.add_argument("--name", default=None, help="campaign name override")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-shard progress")
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    resume = commands.add_parser(
+        "resume", help="continue a stored campaign (skips completed shards)")
+    resume.add_argument("store", help="result-store directory")
+    resume.add_argument("--workers", type=int, default=1,
+                        help="worker process count (default 1)")
+    resume.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard progress")
+    resume.set_defaults(handler=_cmd_resume)
+
+    report = commands.add_parser(
+        "report", help="print the merged results of a stored campaign")
+    report.add_argument("store", help="result-store directory")
+    report.set_defaults(handler=_cmd_report)
+
+    listing = commands.add_parser(
+        "list-scenarios", help="list scenarios, campaigns, and experiments")
+    listing.set_defaults(handler=_cmd_list_scenarios)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)

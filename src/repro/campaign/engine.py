@@ -1,0 +1,196 @@
+"""Sharded multi-process campaign execution.
+
+``run_campaign`` compiles a :class:`~repro.campaign.spec.CampaignSpec` into
+its canonical shard list, executes the shards — in-process for one worker, on
+a ``ProcessPoolExecutor`` otherwise — and reduces the records into one merged
+experiment result per seed replicate.
+
+Determinism contract: a shard is a pure function of ``(spec, shard)`` (its
+seed was fixed at compile time, in canonical order), every record is
+canonicalised through the JSON serde before merging (so in-process, pickled,
+and disk-loaded records are indistinguishable), and merging consumes records
+in shard-index order.  The merged result is therefore bit-identical for any
+worker count, scheduling order, or resume history.
+
+With a :class:`~repro.campaign.store.ResultStore` attached, each completed
+shard is persisted atomically as it lands and already-persisted shards are
+skipped on resume, so a killed campaign continues where it stopped.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.adapters import CampaignAdapter, get_adapter
+from repro.campaign.spec import CampaignSpec, ShardSpec
+from repro.campaign.store import (
+    CampaignResult,
+    ResultStore,
+    ShardRecord,
+    StoreMismatchError,
+)
+from repro.utils.serde import from_jsonable, to_jsonable
+
+__all__ = ["CampaignRun", "execute_shard", "run_campaign"]
+
+#: Progress callback: ``(completed_shards, total_shards, record)``.
+ProgressCallback = Callable[[int, int, ShardRecord], None]
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """The in-memory outcome of one campaign execution."""
+
+    spec: CampaignSpec
+    #: One record per shard, in canonical shard-index order.
+    records: Tuple[ShardRecord, ...]
+    #: One merged experiment result per seed replicate (typed dataclasses).
+    results: Tuple[Any, ...]
+    #: How many shards were actually executed (the rest came from the store).
+    executed: int
+
+    @property
+    def result(self) -> Any:
+        """The merged result of the first (often only) replicate."""
+        return self.results[0]
+
+    def campaign_result(self) -> CampaignResult:
+        """The merged artifact in its persistable form."""
+        return CampaignResult(
+            name=self.spec.name,
+            experiment=self.spec.experiment,
+            seeds=self.spec.replicate_seeds(),
+            num_shards=len(self.records),
+            results=tuple(to_jsonable(result) for result in self.results),
+        )
+
+
+def execute_shard(spec: CampaignSpec, shard: ShardSpec) -> ShardRecord:
+    """Run one shard and wrap its payload in a :class:`ShardRecord`."""
+    adapter = get_adapter(spec.experiment)
+    start = time.perf_counter()
+    payload = adapter.run_shard(spec, shard)
+    return ShardRecord(
+        index=shard.index,
+        point=shard.point,
+        replicate=shard.replicate,
+        seed=shard.seed,
+        experiment=spec.experiment,
+        params=dict(shard.params),
+        result=to_jsonable(payload),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _shard_task(spec_data: Dict[str, Any], shard_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry point (everything crosses as JSON primitives)."""
+    spec = CampaignSpec.from_dict(spec_data)
+    shard = ShardSpec.from_dict(shard_data)
+    return execute_shard(spec, shard).to_dict()
+
+
+def run_campaign(spec: CampaignSpec, workers: int = 1,
+                 store: Optional[ResultStore] = None,
+                 progress: Optional[ProgressCallback] = None) -> CampaignRun:
+    """Execute a campaign and merge its shards into experiment results.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    workers:
+        Process count; ``1`` executes in-process (no pool).
+    store:
+        Optional on-disk store.  Completed shards are persisted atomically as
+        they land; shards already persisted (from an earlier, possibly
+        killed, run of the same spec) are not recomputed.
+    progress:
+        Optional callback invoked after every completed shard.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    adapter = get_adapter(spec.experiment)
+    # An axis the shard runner does not understand would silently multiply
+    # shards and desynchronise the serial-slice arithmetic; fail instead.
+    adapter.validate_axes(spec)
+    shards = spec.compile()
+
+    records: Dict[int, ShardRecord] = {}
+    if store is not None:
+        store.save_spec(spec)
+        by_index = {shard.index: shard for shard in shards}
+        for index, record in store.load_records().items():
+            shard = by_index.get(index)
+            if shard is None or not record.matches(shard):
+                raise StoreMismatchError(
+                    f"stored shard {index} does not match the campaign plan "
+                    f"(stale store at {store.root}); use a fresh directory")
+            records[index] = record
+
+    pending = [shard for shard in shards if shard.index not in records]
+    completed = len(records)
+    total = len(shards)
+
+    def _land(record: ShardRecord) -> None:
+        nonlocal completed
+        records[record.index] = record
+        completed += 1
+        if store is not None:
+            store.save_record(record)
+        if progress is not None:
+            progress(completed, total, record)
+
+    if workers == 1 or len(pending) <= 1:
+        for shard in pending:
+            _land(execute_shard(spec, shard))
+    else:
+        spec_data = spec.to_dict()
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = [pool.submit(_shard_task, spec_data, shard.to_dict())
+                       for shard in pending]
+            # Land every successful shard (persisting it when a store is
+            # attached) before propagating the first failure, so one bad
+            # shard never throws away the other workers' finished work.
+            failure: Optional[BaseException] = None
+            for future in as_completed(futures):
+                try:
+                    record = ShardRecord.from_dict(future.result())
+                except BaseException as error:
+                    if failure is None:
+                        failure = error
+                    continue
+                _land(record)
+            if failure is not None:
+                raise failure
+
+    ordered = [records[shard.index] for shard in shards]
+    results = _merge(adapter, spec, ordered)
+    run = CampaignRun(spec=spec, records=tuple(ordered), results=results,
+                      executed=len(pending))
+    if store is not None:
+        store.save_merged(run.campaign_result())
+    return run
+
+
+def _merge(adapter: CampaignAdapter, spec: CampaignSpec,
+           ordered: List[ShardRecord]) -> Tuple[Any, ...]:
+    """Reduce records into one typed result per replicate.
+
+    Every payload is revived from its JSON form — including records that
+    never left the parent process — so the merge input is canonical no
+    matter where a shard ran.
+    """
+    by_replicate: Dict[int, List[ShardRecord]] = {}
+    for record in ordered:
+        by_replicate.setdefault(record.replicate, []).append(record)
+    results = []
+    for replicate in sorted(by_replicate):
+        replicate_records = sorted(by_replicate[replicate],
+                                   key=lambda record: record.point)
+        payloads = [from_jsonable(adapter.shard_type, record.result)
+                    for record in replicate_records]
+        results.append(adapter.merge(spec, payloads))
+    return tuple(results)

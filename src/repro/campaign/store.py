@@ -1,0 +1,170 @@
+"""Resumable on-disk campaign result store.
+
+One directory per campaign run:
+
+* ``campaign.json`` — the :class:`~repro.campaign.spec.CampaignSpec`;
+* ``shards/shard-00042.json`` — one :class:`ShardRecord` per completed shard,
+  written atomically (temp file + ``os.replace``) so a killed run never
+  leaves a half-written record behind;
+* ``merged.json`` — the merged :class:`CampaignResult` once every shard is in.
+
+Resuming is skip-on-record: the engine re-plans the shard list from the spec,
+loads whatever records already exist, validates them against the plan (a spec
+edit invalidates stale records loudly rather than silently merging mixed
+results), and only executes the missing shards.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec, ShardSpec
+from repro.utils.serde import JsonSerializable
+
+__all__ = ["CampaignResult", "ResultStore", "ShardRecord", "StoreMismatchError"]
+
+
+class StoreMismatchError(RuntimeError):
+    """A store's spec or records disagree with the campaign being run."""
+
+
+@dataclass(frozen=True)
+class ShardRecord(JsonSerializable):
+    """One completed shard: its identity plus the adapter's result payload."""
+
+    index: int
+    point: int
+    replicate: int
+    seed: int
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: The adapter's shard result, lowered to plain JSON primitives.
+    result: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock seconds the shard took (informational; never merged).
+    elapsed_s: float = 0.0
+
+    def matches(self, shard: ShardSpec) -> bool:
+        """True when this record belongs to ``shard`` of the current plan."""
+        return (self.index == shard.index and self.point == shard.point
+                and self.replicate == shard.replicate
+                and self.seed == shard.seed and self.params == shard.params)
+
+
+@dataclass(frozen=True)
+class CampaignResult(JsonSerializable):
+    """The merged campaign artifact (what ``merged.json`` holds).
+
+    ``results`` carries one merged experiment result per seed replicate, as
+    plain dictionaries; revive them with the adapter's ``result_type`` (the
+    engine's :class:`~repro.campaign.engine.CampaignRun` keeps the typed
+    forms).  Deliberately excludes timing so the merged document is
+    bit-identical across worker counts, scheduling, and resumes.
+    """
+
+    name: str
+    experiment: str
+    seeds: Tuple[int, ...]
+    num_shards: int
+    results: Tuple[Dict[str, Any], ...]
+
+
+class ResultStore:
+    """Directory-backed persistence for one campaign run."""
+
+    SPEC_FILE = "campaign.json"
+    MERGED_FILE = "merged.json"
+    SHARD_DIR = "shards"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.shard_dir = self.root / self.SHARD_DIR
+
+    # ------------------------------------------------------------------ paths
+    @property
+    def spec_path(self) -> Path:
+        return self.root / self.SPEC_FILE
+
+    @property
+    def merged_path(self) -> Path:
+        return self.root / self.MERGED_FILE
+
+    def shard_path(self, index: int) -> Path:
+        return self.shard_dir / f"shard-{index:05d}.json"
+
+    # ---------------------------------------------------------------- writing
+    def _write_atomic(self, path: Path, text: str) -> Path:
+        """Write ``text`` to ``path`` atomically (same-directory temp file)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=path.parent,
+                                             prefix=path.name + ".", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def save_spec(self, spec: CampaignSpec) -> None:
+        """Persist the spec, validating against any spec already stored."""
+        existing = self.load_spec()
+        if existing is not None:
+            if existing != spec:
+                raise StoreMismatchError(
+                    f"store {self.root} already holds campaign "
+                    f"{existing.name!r} with a different spec; use a fresh "
+                    "directory (or resume with the stored spec)")
+            return
+        self._write_atomic(self.spec_path, spec.to_json() + "\n")
+
+    def save_record(self, record: ShardRecord) -> Path:
+        """Atomically persist one completed shard."""
+        return self._write_atomic(self.shard_path(record.index),
+                                  record.to_json() + "\n")
+
+    def save_merged(self, result: CampaignResult) -> Path:
+        """Atomically persist the merged campaign artifact."""
+        return self._write_atomic(self.merged_path, result.to_json() + "\n")
+
+    # ---------------------------------------------------------------- reading
+    def load_spec(self) -> Optional[CampaignSpec]:
+        """The stored spec, or ``None`` for a fresh directory."""
+        if not self.spec_path.exists():
+            return None
+        return CampaignSpec.load_json(self.spec_path)
+
+    def require_spec(self) -> CampaignSpec:
+        """The stored spec; raises when the directory holds no campaign."""
+        spec = self.load_spec()
+        if spec is None:
+            raise FileNotFoundError(
+                f"{self.root} holds no campaign (missing {self.SPEC_FILE})")
+        return spec
+
+    def load_records(self) -> Dict[int, ShardRecord]:
+        """All completed shard records, keyed by shard index."""
+        records: Dict[int, ShardRecord] = {}
+        if not self.shard_dir.exists():
+            return records
+        for path in sorted(self.shard_dir.glob("shard-*.json")):
+            record = ShardRecord.load_json(path)
+            records[record.index] = record
+        return records
+
+    def load_merged(self) -> Optional[CampaignResult]:
+        """The merged artifact, or ``None`` when not yet written."""
+        if not self.merged_path.exists():
+            return None
+        return CampaignResult.load_json(self.merged_path)
+
+    def completed_indices(self) -> Tuple[int, ...]:
+        """Indices of shards with a persisted record, ascending."""
+        return tuple(sorted(self.load_records()))

@@ -44,4 +44,5 @@ def log_distance_path_loss_db(distance_m: float,
     require_positive(path_loss_exponent, "path_loss_exponent")
     reference_loss = free_space_path_loss_db(reference_distance_m, frequency_hz)
     distance_m = max(distance_m, reference_distance_m)
-    return reference_loss + 10.0 * path_loss_exponent * math.log10(distance_m / reference_distance_m)
+    return (reference_loss
+            + 10.0 * path_loss_exponent * math.log10(distance_m / reference_distance_m))

@@ -18,13 +18,13 @@ qualitatively identical for the signature application.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.channel.path import PathKind, PropagationPath
 from repro.channel.pathloss import free_space_path_loss_db
 from repro.constants import DEFAULT_CARRIER_FREQUENCY_HZ
 from repro.geometry.point import Point
-from repro.geometry.room import Obstacle, Room, Wall
+from repro.geometry.room import Room
 from repro.geometry.segment import Segment
 
 
@@ -138,7 +138,8 @@ class RayTracer:
         """
         total = 0.0
         for wall in self.room.walls:
-            if wall.segment is reflecting_surface or _same_segment(wall.segment, reflecting_surface):
+            if (wall.segment is reflecting_surface
+                    or _same_segment(wall.segment, reflecting_surface)):
                 continue
             if wall.segment.intersects(leg):
                 total += wall.penetration_loss_db
@@ -165,5 +166,6 @@ class RayTracer:
 def _same_segment(a: Segment, b: Segment, tolerance: float = 1e-9) -> bool:
     """True when two segments share (possibly swapped) endpoints."""
     forward = (a.start.distance_to(b.start) <= tolerance and a.end.distance_to(b.end) <= tolerance)
-    backward = (a.start.distance_to(b.end) <= tolerance and a.end.distance_to(b.start) <= tolerance)
+    backward = (a.start.distance_to(b.end) <= tolerance
+                and a.end.distance_to(b.start) <= tolerance)
     return forward or backward

@@ -121,7 +121,8 @@ class SecureAngleAP:
         observations = self.signatures_from_captures(captures)
         signature = observations[0]
         for observation in observations[1:]:
-            signature = signature.merged_with(observation, weight=1.0 / (signature.num_packets + 1))
+            signature = signature.merged_with(
+                observation, weight=1.0 / (signature.num_packets + 1))
         self.database.train(address, signature, timestamp_s=captures[-1].timestamp_s)
         return signature
 

@@ -105,7 +105,8 @@ def triangulate_bearings(observations: Sequence[BearingObservation]) -> Location
     for obs in observations:
         dx, dy = obs.direction
         nx, ny = -dy, dx
-        distance = abs(nx * (position.x - obs.ap_position.x) + ny * (position.y - obs.ap_position.y))
+        distance = abs(nx * (position.x - obs.ap_position.x)
+                       + ny * (position.y - obs.ap_position.y))
         distances.append(distance)
     residual = float(np.sqrt(np.mean(np.square(distances))))
     return LocationEstimate(position=position, residual_m=residual,

@@ -14,7 +14,7 @@ top of the existing pipeline:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.localization import BearingObservation, LocationEstimate, triangulate_bearings

@@ -1,18 +1,33 @@
-"""Experiment runners that regenerate the paper's figures and claims."""
+"""Experiment runners that regenerate the paper's figures and claims.
 
-from repro.experiments.figure5 import Figure5Result, run_figure5
+Each runner has a serial entry point (``run_*``) and, for the sweep-shaped
+experiments, a campaign builder (``*_campaign``) that expresses the same grid
+as a :class:`~repro.campaign.spec.CampaignSpec` for the sharded
+multi-process engine — merged campaign results are bit-identical to the
+serial runners.
+"""
+
+from repro.experiments.figure5 import Figure5Result, figure5_campaign, run_figure5
 from repro.experiments.accuracy import AccuracyClaim, evaluate_accuracy_claim
-from repro.experiments.figure6 import Figure6Result, run_figure6
-from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.figure6 import Figure6Result, figure6_campaign, run_figure6
+from repro.experiments.figure7 import Figure7Result, figure7_campaign, run_figure7
 from repro.experiments.fence_eval import FenceEvaluation, run_fence_evaluation
-from repro.experiments.spoofing_eval import SpoofingEvaluation, run_spoofing_evaluation
+from repro.experiments.spoofing_eval import (
+    SpoofingEvaluation,
+    run_spoofing_evaluation,
+    spoofing_eval_campaign,
+)
 from repro.experiments.ablations import (
+    calibration_ablation_campaign,
+    estimator_comparison_campaign,
+    packets_per_signature_campaign,
     run_calibration_ablation,
     run_estimator_comparison,
     run_packets_per_signature_sweep,
     run_snr_sweep,
+    snr_sweep_campaign,
 )
-from repro.experiments.roc import SpoofingRoc, run_spoofing_roc
+from repro.experiments.roc import SpoofingRoc, roc_campaign, run_spoofing_roc
 from repro.experiments.mobility import MobilityResult, run_mobility_tracking
 from repro.experiments.beamforming_eval import BeamformingResult, run_beamforming_evaluation
 
@@ -39,4 +54,13 @@ __all__ = [
     "run_estimator_comparison",
     "run_snr_sweep",
     "run_packets_per_signature_sweep",
+    "figure5_campaign",
+    "figure6_campaign",
+    "figure7_campaign",
+    "roc_campaign",
+    "spoofing_eval_campaign",
+    "calibration_ablation_campaign",
+    "estimator_comparison_campaign",
+    "snr_sweep_campaign",
+    "packets_per_signature_campaign",
 ]

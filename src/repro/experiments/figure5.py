@@ -22,10 +22,17 @@ import numpy as np
 
 from repro.aoa.estimator import EstimatorConfig
 from repro.api import Deployment, single_ap_scenario
+from repro.campaign.spec import CampaignSpec, ShardSpec, estimator_from_params
 from repro.experiments.reporting import format_table
 from repro.utils.angles import angular_difference, circular_mean, confidence_interval_halfwidth
 from repro.utils.rng import RngLike
 from repro.utils.serde import JsonSerializable
+
+
+#: Defaults shared by the serial runner and the campaign adapter.
+DEFAULT_NUM_PACKETS = 10
+DEFAULT_INTER_PACKET_GAP_S = 0.5
+DEFAULT_CONFIDENCE = 0.99
 
 
 @dataclass(frozen=True)
@@ -76,10 +83,10 @@ class Figure5Result(JsonSerializable):
         )
 
 
-def run_figure5(num_packets: int = 10,
+def run_figure5(num_packets: int = DEFAULT_NUM_PACKETS,
                 client_ids: Optional[Sequence[int]] = None,
-                inter_packet_gap_s: float = 0.5,
-                confidence: float = 0.99,
+                inter_packet_gap_s: float = DEFAULT_INTER_PACKET_GAP_S,
+                confidence: float = DEFAULT_CONFIDENCE,
                 estimator_config: Optional[EstimatorConfig] = None,
                 rng: RngLike = 42) -> Figure5Result:
     """Reproduce Figure 5 on the simulated testbed.
@@ -105,29 +112,89 @@ def run_figure5(num_packets: int = 10,
                                                name="figure5"), rng=rng)
     if client_ids is None:
         client_ids = deployment.environment.client_ids
-    simulator = deployment.simulator()
-    ap = deployment.ap()
 
     rows: List[ClientBearingRow] = []
     for client_id in client_ids:
-        expected = simulator.expected_client_bearing(client_id)
-        captures = [
-            simulator.capture_from_client(
-                client_id, elapsed_s=index * inter_packet_gap_s,
-                timestamp_s=index * inter_packet_gap_s)
-            for index in range(num_packets)
-        ]
-        estimates = ap.analyze_batch(captures)
-        bearings = [estimate.bearing_deg for estimate in estimates]
-        mean_bearing = circular_mean(bearings)
-        halfwidth = confidence_interval_halfwidth(bearings, confidence=confidence)
-        error = float(angular_difference(mean_bearing, expected))
-        rows.append(ClientBearingRow(
-            client_id=client_id,
-            ground_truth_deg=float(expected),
-            mean_estimate_deg=float(mean_bearing),
-            confidence_halfwidth_deg=float(halfwidth),
-            error_deg=error,
-            per_packet_bearings_deg=bearings,
-        ))
+        rows.append(_client_row(deployment, client_id, num_packets=num_packets,
+                                inter_packet_gap_s=inter_packet_gap_s,
+                                confidence=confidence))
     return Figure5Result(rows=rows, num_packets=num_packets, confidence=confidence)
+
+
+def _client_row(deployment: Deployment, client_id: int, num_packets: int,
+                inter_packet_gap_s: float, confidence: float) -> ClientBearingRow:
+    """One client's Figure 5 row (consumes ``num_packets`` captures)."""
+    simulator = deployment.simulator()
+    ap = deployment.ap()
+    expected = simulator.expected_client_bearing(client_id)
+    captures = [
+        simulator.capture_from_client(
+            client_id, elapsed_s=index * inter_packet_gap_s,
+            timestamp_s=index * inter_packet_gap_s)
+        for index in range(num_packets)
+    ]
+    estimates = ap.analyze_batch(captures)
+    bearings = [estimate.bearing_deg for estimate in estimates]
+    mean_bearing = circular_mean(bearings)
+    halfwidth = confidence_interval_halfwidth(bearings, confidence=confidence)
+    error = float(angular_difference(mean_bearing, expected))
+    return ClientBearingRow(
+        client_id=client_id,
+        ground_truth_deg=float(expected),
+        mean_estimate_deg=float(mean_bearing),
+        confidence_halfwidth_deg=float(halfwidth),
+        error_deg=error,
+        per_packet_bearings_deg=bearings,
+    )
+
+
+# ------------------------------------------------------------------- campaign
+def figure5_campaign(num_packets: int = DEFAULT_NUM_PACKETS,
+                     client_ids: Optional[Sequence[int]] = None,
+                     inter_packet_gap_s: float = DEFAULT_INTER_PACKET_GAP_S,
+                     confidence: float = DEFAULT_CONFIDENCE,
+                     seed: int = 42,
+                     name: str = "figure5") -> CampaignSpec:
+    """Figure 5 as a campaign: one shard per client, seed pinned to 42.
+
+    The lone replicate reproduces :func:`run_figure5` bit-for-bit: each shard
+    rebuilds the figure's deployment from the same seed, fast-forwards the
+    master generator past the earlier clients' captures, and measures its own
+    client exactly as the serial loop would.
+    """
+    if client_ids is None:
+        from repro.api import ENVIRONMENTS
+
+        client_ids = ENVIRONMENTS.get("figure4")().client_ids
+    return CampaignSpec(
+        name=name,
+        experiment="figure5",
+        seeds=(int(seed),),
+        base={"num_packets": int(num_packets),
+              "inter_packet_gap_s": float(inter_packet_gap_s),
+              "confidence": float(confidence)},
+        axes={"client_id": tuple(int(client) for client in client_ids)},
+    )
+
+
+def run_figure5_shard(spec: CampaignSpec, shard: ShardSpec) -> ClientBearingRow:
+    """One Figure 5 campaign shard: a single client's row."""
+    num_packets = int(spec.param("num_packets", DEFAULT_NUM_PACKETS))
+    deployment = Deployment(single_ap_scenario(
+        estimator=estimator_from_params(spec.base), name="figure5"),
+        rng=shard.seed)
+    # Jump to this client's slice of the serial capture sequence.
+    deployment.simulator().skip_captures(shard.point * num_packets)
+    return _client_row(deployment, int(shard.params["client_id"]),
+                       num_packets=num_packets,
+                       inter_packet_gap_s=float(
+                           spec.param("inter_packet_gap_s", DEFAULT_INTER_PACKET_GAP_S)),
+                       confidence=float(spec.param("confidence", DEFAULT_CONFIDENCE)))
+
+
+def merge_figure5(spec: CampaignSpec,
+                  rows: Sequence[ClientBearingRow]) -> Figure5Result:
+    """Reduce one replicate's shard rows into the serial result dataclass."""
+    return Figure5Result(rows=list(rows),
+                         num_packets=int(spec.param("num_packets", DEFAULT_NUM_PACKETS)),
+                         confidence=float(spec.param("confidence", DEFAULT_CONFIDENCE)))

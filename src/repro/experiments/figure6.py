@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.aoa.estimator import EstimatorConfig
 from repro.aoa.spectrum import Pseudospectrum
 from repro.api import Deployment, single_ap_scenario
+from repro.campaign.spec import CampaignSpec, ShardSpec, estimator_from_params
 from repro.core.metrics import peak_set_distance_deg, spectral_correlation
 from repro.core.signature import signatures_from_pseudospectra
 from repro.experiments.reporting import format_table
@@ -91,38 +92,86 @@ def run_figure6(client_ids: Sequence[int] = DEFAULT_CLIENTS,
     deployment = Deployment(single_ap_scenario(
         geometry="linear", num_elements=8, estimator=estimator_config,
         name="figure6"), rng=rng)
-    simulator = deployment.simulator()
-    ap = deployment.ap()
 
     clients: Dict[int, ClientStability] = {}
     for client_id in client_ids:
-        captures = [
-            simulator.capture_from_client(client_id, elapsed_s=offset, timestamp_s=offset)
-            for offset in time_offsets
-        ]
-        estimates = ap.analyze_batch(captures)
-        spectra = [estimate.pseudospectrum for estimate in estimates]
-        signatures = signatures_from_pseudospectra(spectra, captured_at_s=time_offsets)
-        reference = signatures[0]
-        direct_drift: List[float] = []
-        reflection_drift: List[float] = []
-        similarity: List[float] = []
-        for signature in signatures:
-            direct_drift.append(abs(signature.direct_path_bearing_deg
-                                    - reference.direct_path_bearing_deg))
-            reflection_drift.append(peak_set_distance_deg(
-                reference.multipath_bearings_deg or [reference.direct_path_bearing_deg],
-                signature.multipath_bearings_deg or [signature.direct_path_bearing_deg]))
-            similarity.append(spectral_correlation(reference, signature))
-        clients[client_id] = ClientStability(
-            client_id=client_id,
-            time_offsets_s=time_offsets,
-            spectra=spectra,
-            direct_peak_drift_deg=direct_drift,
-            reflection_peak_drift_deg=reflection_drift,
-            similarity_to_reference=similarity,
-        )
+        clients[client_id] = _client_stability(deployment, client_id, time_offsets)
     return Figure6Result(clients=clients, time_offsets_s=time_offsets)
+
+
+def _client_stability(deployment: Deployment, client_id: int,
+                      time_offsets: List[float]) -> ClientStability:
+    """One client's stability data (consumes one capture per offset)."""
+    simulator = deployment.simulator()
+    ap = deployment.ap()
+    captures = [
+        simulator.capture_from_client(client_id, elapsed_s=offset, timestamp_s=offset)
+        for offset in time_offsets
+    ]
+    estimates = ap.analyze_batch(captures)
+    spectra = [estimate.pseudospectrum for estimate in estimates]
+    signatures = signatures_from_pseudospectra(spectra, captured_at_s=time_offsets)
+    reference = signatures[0]
+    direct_drift: List[float] = []
+    reflection_drift: List[float] = []
+    similarity: List[float] = []
+    for signature in signatures:
+        direct_drift.append(abs(signature.direct_path_bearing_deg
+                                - reference.direct_path_bearing_deg))
+        reflection_drift.append(peak_set_distance_deg(
+            reference.multipath_bearings_deg or [reference.direct_path_bearing_deg],
+            signature.multipath_bearings_deg or [signature.direct_path_bearing_deg]))
+        similarity.append(spectral_correlation(reference, signature))
+    return ClientStability(
+        client_id=client_id,
+        time_offsets_s=time_offsets,
+        spectra=spectra,
+        direct_peak_drift_deg=direct_drift,
+        reflection_peak_drift_deg=reflection_drift,
+        similarity_to_reference=similarity,
+    )
+
+
+# ------------------------------------------------------------------- campaign
+def figure6_campaign(client_ids: Sequence[int] = DEFAULT_CLIENTS,
+                     time_offsets_s: Sequence[float] = DEFAULT_TIME_OFFSETS_S,
+                     seed: int = 42,
+                     name: str = "figure6") -> CampaignSpec:
+    """Figure 6 as a campaign: one shard per client, serial-equivalent."""
+    time_offsets = [float(t) for t in time_offsets_s]
+    if not time_offsets or time_offsets[0] != 0.0:
+        raise ValueError("time_offsets_s must start with 0 (the reference capture)")
+    return CampaignSpec(
+        name=name,
+        experiment="figure6",
+        seeds=(int(seed),),
+        base={"time_offsets_s": time_offsets},
+        axes={"client_id": tuple(int(client) for client in client_ids)},
+    )
+
+
+def run_figure6_shard(spec: CampaignSpec, shard: ShardSpec) -> ClientStability:
+    """One Figure 6 campaign shard: a single client's stability sweep."""
+    time_offsets = [float(t) for t in
+                    spec.param("time_offsets_s", list(DEFAULT_TIME_OFFSETS_S))]
+    deployment = Deployment(single_ap_scenario(
+        geometry="linear", num_elements=8,
+        estimator=estimator_from_params(spec.base), name="figure6"),
+        rng=shard.seed)
+    deployment.simulator().skip_captures(shard.point * len(time_offsets))
+    return _client_stability(deployment, int(shard.params["client_id"]),
+                             time_offsets)
+
+
+def merge_figure6(spec: CampaignSpec,
+                  records: Sequence[ClientStability]) -> Figure6Result:
+    """Reduce one replicate's shard records into the serial result."""
+    time_offsets = [float(t) for t in
+                    spec.param("time_offsets_s", list(DEFAULT_TIME_OFFSETS_S))]
+    return Figure6Result(
+        clients={record.client_id: record for record in records},
+        time_offsets_s=time_offsets,
+    )
 
 
 def _format_offset(offset_s: float) -> str:

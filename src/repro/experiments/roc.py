@@ -18,11 +18,24 @@ import numpy as np
 
 from repro.aoa.estimator import EstimatorConfig
 from repro.api import Deployment, single_ap_scenario
+from repro.campaign.spec import CampaignSpec, ShardSpec, estimator_from_params
 from repro.core.metrics import signature_similarity
 from repro.core.signature import AoASignature
 from repro.experiments.reporting import format_table
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.serde import JsonSerializable
+
+
+#: Defaults shared by the serial runner and the campaign adapter.
+DEFAULT_VICTIM_CLIENT = 5
+DEFAULT_ATTACKER_CLIENTS = (3, 9, 15, 18)
+DEFAULT_TRAINING_PACKETS = 10
+DEFAULT_PROBE_PACKETS = 10
+
+
+def default_thresholds() -> np.ndarray:
+    """The default detector-threshold ladder of the sweep (0.05 .. 0.95)."""
+    return np.round(np.arange(0.05, 1.0, 0.05), 3)
 
 
 @dataclass(frozen=True)
@@ -65,10 +78,10 @@ class SpoofingRoc(JsonSerializable):
         )
 
 
-def run_spoofing_roc(victim_client_id: int = 5,
-                     attacker_client_ids: Sequence[int] = (3, 9, 15, 18),
-                     num_training_packets: int = 10,
-                     num_probe_packets: int = 10,
+def run_spoofing_roc(victim_client_id: int = DEFAULT_VICTIM_CLIENT,
+                     attacker_client_ids: Sequence[int] = DEFAULT_ATTACKER_CLIENTS,
+                     num_training_packets: int = DEFAULT_TRAINING_PACKETS,
+                     num_probe_packets: int = DEFAULT_PROBE_PACKETS,
                      thresholds: Optional[Sequence[float]] = None,
                      estimator_config: Optional[EstimatorConfig] = None,
                      rng: RngLike = 42) -> SpoofingRoc:
@@ -82,7 +95,7 @@ def run_spoofing_roc(victim_client_id: int = 5,
     if num_training_packets < 1 or num_probe_packets < 1:
         raise ValueError("packet counts must be positive")
     if thresholds is None:
-        thresholds = np.round(np.arange(0.05, 1.0, 0.05), 3)
+        thresholds = default_thresholds()
     generator = ensure_rng(rng)
     deployment = Deployment(single_ap_scenario(estimator=estimator_config,
                                                name="roc", rng_stream=1),
@@ -118,11 +131,121 @@ def run_spoofing_roc(victim_client_id: int = 5,
                 attacker_client,
                 [120.0 + 5.0 * index for index in range(num_probe_packets)]))
 
+    return SpoofingRoc(points=_sweep_points(thresholds, legitimate_scores,
+                                            attacker_scores),
+                       legitimate_scores=legitimate_scores,
+                       attacker_scores=attacker_scores)
+
+
+def _sweep_points(thresholds, legitimate_scores, attacker_scores) -> List[RocPoint]:
+    """Threshold sweep over the two score populations (shared with merge)."""
     points = []
     for threshold in thresholds:
         detection = float(np.mean([score < threshold for score in attacker_scores]))
         false_alarm = float(np.mean([score < threshold for score in legitimate_scores]))
         points.append(RocPoint(threshold=float(threshold), detection_rate=detection,
                                false_alarm_rate=false_alarm))
-    return SpoofingRoc(points=points, legitimate_scores=legitimate_scores,
+    return points
+
+
+# ------------------------------------------------------------------- campaign
+@dataclass(frozen=True)
+class RocShardScores(JsonSerializable):
+    """One ROC campaign shard: one transmitter population's score list."""
+
+    role: str
+    client_id: int
+    scores: List[float]
+
+    def __post_init__(self) -> None:
+        if self.role not in ("legitimate", "attacker"):
+            raise ValueError(f"unknown ROC population role {self.role!r}")
+
+
+def roc_campaign(victim_client_id: int = DEFAULT_VICTIM_CLIENT,
+                 attacker_client_ids: Sequence[int] = DEFAULT_ATTACKER_CLIENTS,
+                 num_training_packets: int = DEFAULT_TRAINING_PACKETS,
+                 num_probe_packets: int = DEFAULT_PROBE_PACKETS,
+                 thresholds: Optional[Sequence[float]] = None,
+                 seed: int = 42,
+                 name: str = "roc") -> CampaignSpec:
+    """The ROC sweep as a campaign: one shard per score population.
+
+    The legitimate population is point 0, the attacker populations follow in
+    declaration order — exactly the capture order of the serial sweep, so
+    each shard can fast-forward the simulator to its own slice.
+    """
+    if thresholds is None:
+        thresholds = default_thresholds()
+    populations = [{"role": "legitimate", "client_id": int(victim_client_id)}]
+    populations.extend({"role": "attacker", "client_id": int(client)}
+                       for client in attacker_client_ids)
+    return CampaignSpec(
+        name=name,
+        experiment="roc",
+        seeds=(int(seed),),
+        base={"victim_client_id": int(victim_client_id),
+              "num_training_packets": int(num_training_packets),
+              "num_probe_packets": int(num_probe_packets),
+              "thresholds": [float(threshold) for threshold in thresholds]},
+        axes={"population": tuple(populations)},
+    )
+
+
+def run_roc_shard(spec: CampaignSpec, shard: ShardSpec) -> RocShardScores:
+    """One ROC campaign shard: train the certified signature, then score
+    this shard's probe population against it."""
+    num_training = int(spec.param("num_training_packets", DEFAULT_TRAINING_PACKETS))
+    num_probe = int(spec.param("num_probe_packets", DEFAULT_PROBE_PACKETS))
+    victim = int(spec.param("victim_client_id", DEFAULT_VICTIM_CLIENT))
+    deployment = Deployment(single_ap_scenario(
+        estimator=estimator_from_params(spec.base), name="roc", rng_stream=1),
+        rng=shard.seed)
+    simulator = deployment.simulator()
+    ap = deployment.ap()
+
+    def signatures_of(client_id: int, elapsed_list: Sequence[float]) -> List[AoASignature]:
+        captures = [simulator.capture_from_client(client_id, elapsed_s=elapsed,
+                                                  timestamp_s=elapsed)
+                    for elapsed in elapsed_list]
+        return ap.signatures_from_captures(captures)
+
+    # Training always replays first (every shard scores against the same
+    # certified signature, from the same capture draws as the serial sweep).
+    training = signatures_of(victim,
+                             [index * 0.5 for index in range(num_training)])
+    certified = training[0]
+    for index, observation in enumerate(training[1:], start=1):
+        certified = certified.merged_with(observation, weight=1.0 / (index + 1))
+
+    # Jump past the earlier populations' probe captures.
+    simulator.skip_captures(shard.point * num_probe)
+    population = shard.params["population"]
+    role = str(population["role"])
+    client_id = int(population["client_id"])
+    start_s = 60.0 if role == "legitimate" else 120.0
+    scores = [
+        signature_similarity(certified, signature)
+        for signature in signatures_of(
+            client_id, [start_s + 5.0 * index for index in range(num_probe)])
+    ]
+    return RocShardScores(role=role, client_id=client_id, scores=scores)
+
+
+def merge_roc(spec: CampaignSpec,
+              records: Sequence[RocShardScores]) -> SpoofingRoc:
+    """Reduce one replicate's population scores into the serial ROC."""
+    thresholds = spec.param("thresholds")
+    if thresholds is None:
+        thresholds = default_thresholds()
+    legitimate_scores: List[float] = []
+    attacker_scores: List[float] = []
+    for record in records:
+        if record.role == "legitimate":
+            legitimate_scores.extend(record.scores)
+        else:
+            attacker_scores.extend(record.scores)
+    return SpoofingRoc(points=_sweep_points(thresholds, legitimate_scores,
+                                            attacker_scores),
+                       legitimate_scores=legitimate_scores,
                        attacker_scores=attacker_scores)

@@ -134,7 +134,8 @@ class Polygon:
         ])
 
     @staticmethod
-    def regular(centre: Point, radius: float, num_sides: int, rotation_deg: float = 0.0) -> "Polygon":
+    def regular(centre: Point, radius: float, num_sides: int,
+                rotation_deg: float = 0.0) -> "Polygon":
         """Create a regular polygon with ``num_sides`` vertices on a circle."""
         if num_sides < 3:
             raise ValueError(f"a regular polygon needs at least 3 sides, got {num_sides}")

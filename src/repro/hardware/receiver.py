@@ -65,7 +65,8 @@ class ArrayReceiver:
         )
         chain_rng = spawn_rng(self._rng, stream=2)
         self.chains: List[RadioChain] = [
-            RadioChain(self.oscillators[i], config.chain_config, rng=spawn_rng(chain_rng, stream=i))
+            RadioChain(self.oscillators[i], config.chain_config,
+                       rng=spawn_rng(chain_rng, stream=i))
             for i in range(num_chains)
         ]
         self.switch = RFSwitch(num_chains)

@@ -10,8 +10,7 @@ and a simple bit serialisation so PHY packets can carry real frame bits.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -68,7 +67,8 @@ class Dot11Frame:
         802.11 wire format (which the experiments do not need) but is a stable,
         invertible encoding carrying the same identity information.
         """
-        type_code = {FrameType.DATA: 0, FrameType.MANAGEMENT: 1, FrameType.CONTROL: 2}[self.frame_type]
+        type_code = {FrameType.DATA: 0, FrameType.MANAGEMENT: 1,
+                     FrameType.CONTROL: 2}[self.frame_type]
         header = bytes([type_code])
         header += self.sequence_number.to_bytes(2, "big")
         header += self.destination.to_bytes()
@@ -82,7 +82,8 @@ class Dot11Frame:
         if len(blob) < 17:
             raise ValueError(f"frame too short: {len(blob)} bytes")
         type_code = blob[0]
-        frame_type = {0: FrameType.DATA, 1: FrameType.MANAGEMENT, 2: FrameType.CONTROL}.get(type_code)
+        frame_type = {0: FrameType.DATA, 1: FrameType.MANAGEMENT,
+                      2: FrameType.CONTROL}.get(type_code)
         if frame_type is None:
             raise ValueError(f"unknown frame type code {type_code}")
         sequence = int.from_bytes(blob[1:3], "big")

@@ -43,7 +43,8 @@ class OfdmConfig:
         half = self.fft_size // 2
         for subcarrier in occupied:
             if not -half <= subcarrier < half:
-                raise ValueError(f"subcarrier {subcarrier} out of range for FFT size {self.fft_size}")
+                raise ValueError(
+                    f"subcarrier {subcarrier} out of range for FFT size {self.fft_size}")
         if len(set(occupied)) != len(occupied):
             raise ValueError("occupied subcarriers must be unique")
 

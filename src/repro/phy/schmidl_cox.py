@@ -91,7 +91,6 @@ class SchmidlCoxDetector:
         metric = self.timing_metric(samples)
         if metric.size == 0:
             return []
-        period = self._period
         results: List[DetectionResult] = []
         index = 0
         while index < metric.size:

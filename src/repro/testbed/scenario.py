@@ -33,7 +33,7 @@ from repro.calibration.table import CalibrationTable
 from repro.mac.frames import Dot11Frame
 from repro.phy.packet import PhyPacket, make_packet_waveform, make_packet_waveforms
 from repro.testbed.environment import TestbedEnvironment
-from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng, skip_spawns, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -317,6 +317,21 @@ class TestbedSimulator:
             for index in range(num_packets)
         ]
         return self.capture_batch(requests)
+
+    def skip_captures(self, num_captures: int) -> None:
+        """Advance the master generator past ``num_captures`` capture calls.
+
+        Every capture spawns exactly four per-packet substreams (waveform,
+        fading, channel, receiver — streams 21..24) from the simulator's
+        master generator and touches no other simulator randomness, so
+        replaying those spawn draws leaves the generator in the bit-exact
+        state it would hold after simulating the packets for real.  Campaign
+        shards use this to jump straight to their slice of a serial
+        experiment's capture sequence.
+        """
+        if num_captures < 0:
+            raise ValueError("num_captures must be non-negative")
+        skip_spawns(self._rng, 4 * int(num_captures))
 
     # -------------------------------------------------------------- path cache
     def path_cache_info(self) -> Dict[str, int]:

@@ -42,3 +42,32 @@ def spawn_rng(rng: RngLike, stream: Optional[int] = None) -> np.random.Generator
     else:
         seed = int(parent.integers(0, 2**31 - 1)) ^ (int(stream) * 0x9E3779B1 & 0x7FFFFFFF)
     return np.random.default_rng(seed)
+
+
+def skip_spawns(rng: RngLike, count: int, stream: bool = True) -> np.random.Generator:
+    """Advance ``rng`` past ``count`` :func:`spawn_rng` calls without spawning.
+
+    A numbered spawn consumes exactly one ``integers(0, 2**31 - 1)`` draw from
+    the parent (an unnumbered one draws from ``[0, 2**63 - 1)``), so replaying
+    the draws fast-forwards the parent's state bit-exactly.  Campaign shards
+    use this to jump the master generator to their slice of a serial
+    experiment's capture sequence without synthesizing the skipped packets.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    bound = 2**31 - 1 if stream else 2**63 - 1
+    for _ in range(int(count)):
+        parent.integers(0, bound)
+    return parent
+
+
+def derive_seed(rng: RngLike) -> int:
+    """Draw one child seed from ``rng`` (the unnumbered-spawn derivation).
+
+    Campaigns derive per-replicate seeds this way, in canonical replicate
+    order at compile time, so the seed assigned to each shard is a pure
+    function of the campaign spec — independent of worker count or
+    scheduling.
+    """
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))

@@ -118,7 +118,8 @@ class TestRssSignalprints:
         assert detector.matches(address, RssSignalprint(np.array([-58.0])))
         assert not detector.matches(address, RssSignalprint(np.array([-70.0])))
         assert not detector.matches(MacAddress.random(rng=16), RssSignalprint(np.array([-55.0])))
-        assert detector.difference_db(address, RssSignalprint(np.array([-58.0]))) == pytest.approx(3.0)
+        assert detector.difference_db(
+            address, RssSignalprint(np.array([-58.0]))) == pytest.approx(3.0)
 
     def test_detector_threshold_validation(self):
         with pytest.raises(ValueError):

@@ -7,7 +7,7 @@ from repro.arrays.geometry import OctagonalArray
 from repro.calibration.procedure import calibrate_receiver, measure_relative_phase_offsets
 from repro.calibration.table import CalibrationTable
 from repro.hardware.capture import Capture
-from repro.hardware.receiver import ArrayReceiver, ReceiverConfig
+from repro.hardware.receiver import ArrayReceiver
 from repro.hardware.reference import CalibrationSource
 
 

@@ -1,0 +1,90 @@
+"""The ``python -m repro`` command line, driven in-process."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore
+from repro.campaign.cli import main
+from repro.experiments.figure5 import run_figure5
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestListScenarios:
+    def test_lists_scenarios_campaigns_and_runners(self, capsys):
+        assert run_cli("list-scenarios") == 0
+        output = capsys.readouterr().out
+        for expected in ("figure5", "spoofing_eval", "snr_sweep", "three_ap"):
+            assert expected in output
+
+
+class TestRun:
+    def test_runs_serial_experiment_and_saves_json(self, tmp_path, capsys):
+        out = tmp_path / "figure5.json"
+        assert run_cli("run", "figure5", "--param", "num_packets=2",
+                       "--param", "client_ids=[1,2]", "--json", str(out)) == 0
+        assert "figure5" in capsys.readouterr().out
+        saved = json.loads(out.read_text())
+        expected = run_figure5(num_packets=2, client_ids=(1, 2))
+        assert saved == expected.to_dict()
+
+    def test_unknown_experiment_fails_loudly(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            run_cli("run", "figure99")
+
+
+class TestCampaignCommand:
+    def test_campaign_resume_report_round_trip(self, tmp_path, capsys):
+        store_dir = tmp_path / "campaign"
+        assert run_cli("campaign", "figure5",
+                       "--axis", "client_id=1,2,3,4",
+                       "--param", "num_packets=2",
+                       "--workers", "2", "--quiet",
+                       "--out", str(store_dir)) == 0
+        store = ResultStore(store_dir)
+        merged = store.merged_path.read_bytes()
+        assert len(store.completed_indices()) == 4
+
+        # Kill one shard record and resume: merged result must not change.
+        store.shard_path(2).unlink()
+        assert run_cli("resume", str(store_dir), "--workers", "2",
+                       "--quiet") == 0
+        assert store.merged_path.read_bytes() == merged
+
+        capsys.readouterr()
+        assert run_cli("report", str(store_dir)) == 0
+        output = capsys.readouterr().out
+        assert "4 shard(s)" in output
+        assert "client" in output  # the merged figure5 table
+
+    def test_campaign_from_spec_file(self, tmp_path, capsys):
+        from repro.campaign import get_adapter
+
+        spec = get_adapter("figure5").default_spec(client_ids=(1, 2),
+                                                   num_packets=2)
+        spec_path = tmp_path / "spec.json"
+        spec.save_json(spec_path)
+        assert run_cli("campaign", str(spec_path), "--quiet") == 0
+        assert "2 shard(s)" in capsys.readouterr().out
+
+    def test_campaign_overrides_change_the_spec(self, tmp_path):
+        store_dir = tmp_path / "campaign"
+        assert run_cli("campaign", "figure5", "--axis", "client_id=5",
+                       "--param", "num_packets=2", "--name", "tiny",
+                       "--quiet", "--out", str(store_dir)) == 0
+        stored = CampaignSpec.load_json(store_dir / "campaign.json")
+        assert stored.name == "tiny"
+        assert stored.axes["client_id"] == (5,)
+        assert stored.base["num_packets"] == 2
+
+    def test_report_without_merged_result_explains(self, tmp_path):
+        store_dir = tmp_path / "campaign"
+        run_cli("campaign", "figure5", "--axis", "client_id=1",
+                "--param", "num_packets=2", "--quiet",
+                "--out", str(store_dir))
+        ResultStore(store_dir).merged_path.unlink()
+        with pytest.raises(SystemExit, match="no merged result"):
+            run_cli("report", str(store_dir))

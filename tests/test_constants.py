@@ -1,7 +1,5 @@
 """Tests for the physical constants module."""
 
-import math
-
 import pytest
 
 from repro import constants

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.aoa.estimator import EstimatorConfig
 from repro.arrays.geometry import OctagonalArray, UniformLinearArray
 from repro.core.access_point import AccessPointConfig, SecureAngleAP
 from repro.core.controller import SecureAngleController

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arrays.geometry import OctagonalArray, UniformLinearArray
+from repro.arrays.geometry import OctagonalArray
 from repro.channel.path import PathKind, PropagationPath
 from repro.core.beamforming import (
     beamforming_gain_db,

@@ -1,6 +1,5 @@
 """Integration tests for the experiment runners (small configurations for speed)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.accuracy import evaluate_accuracy_claim

@@ -1,7 +1,5 @@
 """Tests for polygons, rooms, walls, and obstacles."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for MAC addresses, frames, and ACLs."""
 
-import numpy as np
 import pytest
 
 from repro.mac.acl import AccessControlList

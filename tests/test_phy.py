@@ -7,7 +7,12 @@ from repro.mac.address import MacAddress
 from repro.mac.frames import Dot11Frame
 from repro.phy.ofdm import OfdmConfig, OfdmModulator
 from repro.phy.packet import PhyPacket, make_packet_waveform
-from repro.phy.preamble import legacy_preamble, long_training_field, short_training_field, stf_period
+from repro.phy.preamble import (
+    legacy_preamble,
+    long_training_field,
+    short_training_field,
+    stf_period,
+)
 from repro.phy.sampling import SampleBuffer
 from repro.phy.schmidl_cox import SchmidlCoxDetector
 

@@ -1,12 +1,10 @@
 """Tests for the testbed environment, clients, and the capture simulator."""
 
-import numpy as np
 import pytest
 
 from repro.geometry.point import Point
 from repro.mac.address import MacAddress
-from repro.testbed.clients import SoekrisClient, client_bearings, make_clients
-from repro.testbed.environment import figure4_environment
+from repro.testbed.clients import client_bearings, make_clients
 from repro.testbed.scenario import SimulatorConfig, TestbedSimulator
 from repro.utils.angles import angular_difference
 

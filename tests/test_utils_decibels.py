@@ -48,7 +48,8 @@ class TestAmplitudeConversions:
 
     @given(st.floats(min_value=-60.0, max_value=60.0))
     def test_amplitude_round_trip(self, db):
-        assert float(amplitude_ratio_to_db(db_to_amplitude_ratio(db))) == pytest.approx(db, abs=1e-9)
+        assert float(amplitude_ratio_to_db(db_to_amplitude_ratio(db))) \
+            == pytest.approx(db, abs=1e-9)
 
     def test_amplitude_db_is_twice_power_db_for_same_ratio(self):
         ratio = 3.7
