@@ -19,7 +19,8 @@ setup(
     python_requires=">=3.9",
     install_requires=["numpy>=1.21", "scipy>=1.7"],
     extras_require={
-        "test": ["pytest>=7.0", "pytest-benchmark>=4.0", "pytest-cov>=4.0"],
+        "test": ["pytest>=7.0", "pytest-benchmark>=4.0", "pytest-cov>=4.0",
+                 "hypothesis>=6.0"],
         "lint": ["ruff>=0.4"],
     },
 )

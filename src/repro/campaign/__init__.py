@@ -2,12 +2,16 @@
 
 Describe a sweep declaratively with :class:`CampaignSpec` (experiment name,
 parameter axes, seed replicates), compile it into canonical
-:class:`ShardSpec` units, and execute them with :func:`run_campaign` across a
-process pool — each worker builds its own deployment and runs the batched
-engine.  Per-shard seeds are fixed at compile time in canonical order, so the
-merged result is bit-identical regardless of worker count or scheduling; a
-:class:`ResultStore` makes runs resumable (atomic per-shard records,
-skip-on-resume).
+:class:`ShardSpec` units, and execute them with :func:`run_campaign` on a
+pluggable executor backend — in-process (:class:`SerialBackend`), a local
+process pool (:class:`ProcessPoolBackend`), or file-queue workers on any
+hosts that share a filesystem (:class:`FileQueueBackend` plus
+``python -m repro worker``) — each worker builds its own deployment and runs
+the batched engine.  Per-shard seeds are fixed at compile time in canonical
+order, so the merged result is bit-identical regardless of backend, worker
+count, or scheduling; a :class:`ResultStore` makes runs resumable (atomic
+durable per-shard records, skip-on-resume) and carries a ``progress.json``
+heartbeat (completed/total shards, throughput, ETA).
 
 The paper's figure and evaluation experiments are registered in
 :data:`CAMPAIGNS`; ``python -m repro`` drives everything from the command
@@ -20,7 +24,17 @@ line.
 """
 
 from repro.campaign.adapters import CAMPAIGNS, CampaignAdapter, get_adapter
+from repro.campaign.backends import (
+    BACKENDS,
+    ExecutorBackend,
+    FileQueueBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardFailure,
+    make_backend,
+)
 from repro.campaign.engine import CampaignRun, execute_shard, run_campaign
+from repro.campaign.progress import CampaignProgress
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.campaign.store import (
     CampaignResult,
@@ -28,18 +42,28 @@ from repro.campaign.store import (
     ShardRecord,
     StoreMismatchError,
 )
+from repro.campaign.worker import run_worker
 
 __all__ = [
+    "BACKENDS",
     "CAMPAIGNS",
     "CampaignAdapter",
+    "CampaignProgress",
     "CampaignResult",
     "CampaignRun",
     "CampaignSpec",
+    "ExecutorBackend",
+    "FileQueueBackend",
+    "ProcessPoolBackend",
     "ResultStore",
+    "SerialBackend",
+    "ShardFailure",
     "ShardRecord",
     "ShardSpec",
     "StoreMismatchError",
     "execute_shard",
     "get_adapter",
+    "make_backend",
     "run_campaign",
+    "run_worker",
 ]

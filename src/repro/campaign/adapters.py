@@ -40,6 +40,20 @@ from repro.experiments.ablations import (
     run_snr_shard,
     snr_sweep_campaign,
 )
+from repro.experiments.beamforming_eval import (
+    BeamformingResult,
+    BeamformingShard,
+    beamforming_campaign,
+    merge_beamforming,
+    run_beamforming_shard,
+)
+from repro.experiments.fence_eval import (
+    FenceCase,
+    FenceEvaluation,
+    fence_eval_campaign,
+    merge_fence_eval,
+    run_fence_shard,
+)
 from repro.experiments.figure5 import (
     ClientBearingRow,
     Figure5Result,
@@ -60,6 +74,13 @@ from repro.experiments.figure7 import (
     figure7_campaign,
     merge_figure7,
     run_figure7_shard,
+)
+from repro.experiments.mobility import (
+    MobilityResult,
+    MobilitySample,
+    merge_mobility,
+    mobility_campaign,
+    run_mobility_shard,
 )
 from repro.experiments.roc import (
     RocShardScores,
@@ -193,6 +214,33 @@ CAMPAIGNS.register("packets_per_signature", CampaignAdapter(
     default_spec=packets_per_signature_campaign,
     axis_names=("training_size",),
 ))
+CAMPAIGNS.register("fence_eval", CampaignAdapter(
+    name="fence_eval",
+    run_shard=run_fence_shard,
+    merge=merge_fence_eval,
+    shard_type=FenceCase,
+    result_type=FenceEvaluation,
+    default_spec=fence_eval_campaign,
+    axis_names=("transmitter",),
+), aliases=("fence",))
+CAMPAIGNS.register("mobility", CampaignAdapter(
+    name="mobility",
+    run_shard=run_mobility_shard,
+    merge=merge_mobility,
+    shard_type=MobilitySample,
+    result_type=MobilityResult,
+    default_spec=mobility_campaign,
+    axis_names=("sample",),
+))
+CAMPAIGNS.register("beamforming", CampaignAdapter(
+    name="beamforming",
+    run_shard=run_beamforming_shard,
+    merge=merge_beamforming,
+    shard_type=BeamformingShard,
+    result_type=BeamformingResult,
+    default_spec=beamforming_campaign,
+    axis_names=("client_id",),
+), aliases=("beamforming_eval",))
 
 
 def get_adapter(experiment: str) -> CampaignAdapter:

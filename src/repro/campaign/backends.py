@@ -1,0 +1,421 @@
+"""Pluggable campaign executor backends.
+
+The engine plans a campaign (compile shards, load resumable records, merge);
+*how* the pending shards get executed is a backend decision:
+
+* :class:`SerialBackend` — in-process, in order.  No pickling, no
+  subprocesses: the backend to debug a shard under.
+* :class:`ProcessPoolBackend` — a local ``ProcessPoolExecutor``; completed
+  shards land (and persist) before the first failure propagates.
+* :class:`FileQueueBackend` — scatter/gather over any shared filesystem.
+  The coordinator enqueues one task file per pending shard under the result
+  store; independent worker processes (``python -m repro worker --queue DIR``,
+  on this host or any host that mounts the store) claim tasks via atomic
+  rename, execute them, and write records into the shared
+  :class:`~repro.campaign.store.ResultStore`.  The coordinator polls the
+  store, re-queues tasks whose worker lease expired without producing a
+  record (crash recovery), and raises after the queue drains if any shard
+  failed.
+
+Every backend feeds the same ``land`` callback and the merge consumes
+JSON-canonicalised records in shard-index order, so the merged campaign
+result is bit-identical whichever backend (and however many workers,
+wherever they run) executed the shards.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import shutil
+import subprocess
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.api.registry import Registry
+from repro.campaign.spec import CampaignSpec, ShardSpec
+from repro.campaign.store import ResultStore, ShardRecord, fsync_directory
+
+__all__ = [
+    "BACKENDS",
+    "ExecutorBackend",
+    "FileQueue",
+    "FileQueueBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardFailure",
+    "make_backend",
+]
+
+#: Landing callback the engine hands to a backend: ``land(record)`` registers
+#: a completed shard (and persists it unless ``persisted`` says the record is
+#: already in the store, as file-queue workers write their own records).
+LandCallback = Callable[..., None]
+
+
+class ShardFailure(RuntimeError):
+    """One or more shards failed to execute."""
+
+
+class ExecutorBackend(abc.ABC):
+    """How a campaign's pending shards get executed."""
+
+    #: Registry name (also what ``--backend`` accepts on the CLI).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
+                land: LandCallback, store: Optional[ResultStore]) -> None:
+        """Execute ``pending`` shards, calling ``land`` for each record.
+
+        ``land`` may be called in any completion order; the engine re-orders
+        records canonically before merging.  Implementations must land every
+        successful shard before propagating the first failure, so completed
+        work is never thrown away.
+        """
+
+
+class SerialBackend(ExecutorBackend):
+    """Execute shards in-process, in canonical order (the debug backend)."""
+
+    name = "serial"
+
+    def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
+                land: LandCallback, store: Optional[ResultStore]) -> None:
+        from repro.campaign.engine import execute_shard
+
+        for shard in pending:
+            land(execute_shard(spec, shard))
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Execute shards on a local ``ProcessPoolExecutor``."""
+
+    name = "pool"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+
+    def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
+                land: LandCallback, store: Optional[ResultStore]) -> None:
+        from repro.campaign.engine import _shard_task, execute_shard
+
+        # One worker (or one shard) gains nothing from a pool; run in-process.
+        if self.workers == 1 or len(pending) <= 1:
+            for shard in pending:
+                land(execute_shard(spec, shard))
+            return
+        spec_data = spec.to_dict()
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+            futures = [pool.submit(_shard_task, spec_data, shard.to_dict())
+                       for shard in pending]
+            # Land every successful shard (persisting it when a store is
+            # attached) before propagating the first failure, so one bad
+            # shard never throws away the other workers' finished work.
+            failure: Optional[BaseException] = None
+            for future in as_completed(futures):
+                try:
+                    record = ShardRecord.from_dict(future.result())
+                except BaseException as error:
+                    if failure is None:
+                        failure = error
+                    continue
+                land(record)
+            if failure is not None:
+                raise failure
+
+
+class FileQueue:
+    """The on-disk task queue of a file-queue campaign.
+
+    Lives inside the result store (``<store>/queue``) so one shared directory
+    carries the whole protocol:
+
+    * ``tasks/task-00042.json`` — a pending shard (its ``ShardSpec`` JSON);
+    * ``leases/task-00042.json`` — a shard some worker has claimed; the
+      claim is the atomic ``os.rename`` from ``tasks/`` (exactly one worker
+      can win it), and the lease file's mtime is the lease clock;
+    * ``failed/task-00042.json`` — a shard whose execution raised (the file
+      holds the traceback text);
+    * ``ready`` — marker written after every task is enqueued, so workers
+      that start before the coordinator never see a half-built queue.
+    """
+
+    QUEUE_DIR = "queue"
+
+    def __init__(self, store_root) -> None:
+        self.root = Path(store_root) / self.QUEUE_DIR
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.failed_dir = self.root / "failed"
+        self.ready_marker = self.root / "ready"
+
+    # ------------------------------------------------------------- coordinator
+    def build(self, shards: Sequence[ShardSpec]) -> None:
+        """(Re)build the queue with one task per shard, then open it."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        for directory in (self.tasks_dir, self.leases_dir, self.failed_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        for shard in shards:
+            self._task_path(self.tasks_dir, shard.index).write_text(
+                shard.to_json() + "\n", encoding="utf-8")
+        fsync_directory(self.tasks_dir)
+        self.ready_marker.write_text("ready\n", encoding="utf-8")
+        fsync_directory(self.root)
+
+    def requeue_expired(self, lease_timeout_s: float,
+                        recorded: Set[int]) -> List[int]:
+        """Return orphaned leases to the task queue (crash recovery).
+
+        A lease older than ``lease_timeout_s`` whose shard still has no
+        record means the worker died (or hung) mid-shard; the task goes back
+        to ``tasks/`` for any live worker to claim.  Leases whose record
+        already exists are simply cleared.
+        """
+        requeued: List[int] = []
+        now = time.time()
+        for lease in self._entries(self.leases_dir):
+            index = self._task_index(lease)
+            if index is None:
+                continue
+            if index in recorded:
+                self._unlink(lease)
+                continue
+            try:
+                age = now - lease.stat().st_mtime
+            except OSError:  # the worker just finished or got requeued
+                continue
+            if age < lease_timeout_s:
+                continue
+            try:
+                os.rename(lease, self._task_path(self.tasks_dir, index))
+                requeued.append(index)
+            except OSError:
+                continue
+        return requeued
+
+    def failures(self) -> Dict[int, str]:
+        """Failed shard indices mapped to their recorded error text."""
+        failures: Dict[int, str] = {}
+        for path in self._entries(self.failed_dir):
+            index = self._task_index(path)
+            if index is None:
+                continue
+            try:
+                failures[index] = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+        return failures
+
+    def destroy(self) -> None:
+        """Remove the queue directory (after a fully-landed campaign)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    # ------------------------------------------------------------------ worker
+    @property
+    def ready(self) -> bool:
+        """True once the coordinator has finished enqueueing tasks."""
+        return self.ready_marker.exists()
+
+    def claim(self) -> Optional[Path]:
+        """Claim one pending task via atomic rename; ``None`` when empty.
+
+        The returned path is the caller's lease file: it holds the shard
+        spec, and its existence (with a fresh mtime) is what keeps the
+        coordinator from re-queueing the shard.
+        """
+        for task in self._entries(self.tasks_dir):
+            lease = self.leases_dir / task.name
+            try:
+                os.rename(task, lease)
+            except OSError:  # another worker won the rename
+                continue
+            # Start the lease clock now: the rename preserved the *task*
+            # file's mtime (its enqueue time), which would make any claim
+            # late in a long campaign look instantly expired.
+            try:
+                os.utime(lease)
+            except OSError:
+                pass
+            return lease
+        return None
+
+    def release(self, lease: Path) -> None:
+        """Drop a lease after its record landed (missing is fine)."""
+        self._unlink(lease)
+
+    def record_failure(self, lease: Path, error: str) -> None:
+        """Move a lease to ``failed/`` with the error text (terminal state)."""
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        failed = self.failed_dir / lease.name
+        try:
+            failed.write_text(error, encoding="utf-8")
+        except OSError:
+            pass
+        self._unlink(lease)
+
+    @property
+    def empty(self) -> bool:
+        """True when no task is pending or claimed."""
+        return not self._entries(self.tasks_dir) and not self._entries(self.leases_dir)
+
+    @property
+    def has_pending_tasks(self) -> bool:
+        """True while unclaimed tasks exist (claimed leases do not count)."""
+        return bool(self._entries(self.tasks_dir))
+
+    # --------------------------------------------------------------- internals
+    @staticmethod
+    def _task_path(directory: Path, index: int) -> Path:
+        return directory / f"task-{index:05d}.json"
+
+    @staticmethod
+    def _task_index(path: Path) -> Optional[int]:
+        try:
+            return int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return None
+
+    @staticmethod
+    def _entries(directory: Path) -> List[Path]:
+        try:
+            return sorted(path for path in directory.iterdir()
+                          if path.name.startswith("task-"))
+        except OSError:
+            return []
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+class FileQueueBackend(ExecutorBackend):
+    """Scatter shards to file-queue workers over a shared filesystem.
+
+    ``workers`` local worker processes are spawned for convenience (``0``
+    means the operator runs every worker externally — other terminals, other
+    hosts).  The coordinator itself executes nothing: it enqueues tasks,
+    polls the store for landed records, re-queues expired leases, and keeps
+    the spawned worker population alive until the campaign drains.
+    """
+
+    name = "file-queue"
+
+    def __init__(self, workers: int = 0, lease_timeout_s: float = 60.0,
+                 poll_s: float = 0.2, timeout_s: Optional[float] = None,
+                 keep_queue: bool = False) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if poll_s <= 0:
+            raise ValueError("poll_s must be positive")
+        self.workers = workers
+        self.lease_timeout_s = lease_timeout_s
+        self.poll_s = poll_s
+        self.timeout_s = timeout_s
+        self.keep_queue = keep_queue
+
+    # ---------------------------------------------------------------- spawning
+    def _spawn_worker(self, store: ResultStore, ordinal: int) -> subprocess.Popen:
+        log_path = FileQueue(store.root).root / f"worker-{ordinal}.log"
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--queue", str(store.root), "--exit-when-empty",
+                   "--poll", str(self.poll_s)]
+        with open(log_path, "ab") as log:
+            return subprocess.Popen(command, stdout=log, stderr=log,
+                                    stdin=subprocess.DEVNULL)
+
+    # --------------------------------------------------------------- execution
+    def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
+                land: LandCallback, store: Optional[ResultStore]) -> None:
+        if store is None:
+            raise ValueError(
+                "the file-queue backend needs a result store: workers "
+                "communicate through it (pass store=/--out)")
+        queue = FileQueue(store.root)
+        queue.build(pending)
+        missing: Set[int] = {shard.index for shard in pending}
+        procs: List[subprocess.Popen] = []
+        spawned = 0
+        deadline = (time.monotonic() + self.timeout_s
+                    if self.timeout_s is not None else None)
+        try:
+            for _ in range(self.workers):
+                procs.append(self._spawn_worker(store, spawned))
+                spawned += 1
+            while missing:
+                # One directory listing per tick (it may be a network
+                # filesystem); land newly persisted records from it.
+                recorded = set(store.record_indices())
+                for index in sorted(recorded & missing):
+                    land(store.load_record(index), persisted=True)
+                    missing.discard(index)
+                if not missing:
+                    break
+                # A failure marker for a still-missing shard is terminal:
+                # the worker moved the task out of circulation, so waiting
+                # longer cannot produce a record.
+                failures = queue.failures()
+                terminal = sorted(set(failures) & missing)
+                if terminal:
+                    raise ShardFailure(
+                        f"{len(terminal)} shard(s) failed under the file-queue "
+                        f"backend (first: shard {terminal[0]}):\n"
+                        + failures[terminal[0]])
+                queue.requeue_expired(self.lease_timeout_s, recorded=recorded)
+                # Keep the spawned population at strength while *unclaimed*
+                # tasks exist (a crashed worker's requeued shards must never
+                # wait on an operator).  Leases alone spawn nothing: spawned
+                # workers exit-when-empty, so a worker started during the
+                # campaign tail would only churn interpreter startups.
+                if self.workers:
+                    procs = [proc for proc in procs if proc.poll() is None]
+                    while len(procs) < self.workers and queue.has_pending_tasks:
+                        procs.append(self._spawn_worker(store, spawned))
+                        spawned += 1
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"file-queue campaign timed out with {len(missing)} "
+                        f"shard(s) outstanding (no worker progress within "
+                        f"{self.timeout_s:.0f}s?)")
+                time.sleep(self.poll_s)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        if not self.keep_queue:
+            queue.destroy()
+
+
+#: Backend factories by CLI name (did-you-mean errors on miss).
+BACKENDS: Registry[Callable[..., ExecutorBackend]] = Registry("executor backend")
+BACKENDS.register("serial", lambda workers=1, **_: SerialBackend())
+BACKENDS.register("pool", lambda workers=2, **_: ProcessPoolBackend(workers=workers),
+                  aliases=("process-pool", "processpool"))
+BACKENDS.register(
+    "file-queue",
+    lambda workers=0, lease_timeout_s=60.0, poll_s=0.2, timeout_s=None, **_:
+        FileQueueBackend(workers=workers, lease_timeout_s=lease_timeout_s,
+                         poll_s=poll_s, timeout_s=timeout_s),
+    aliases=("filequeue", "fq"))
+
+
+def make_backend(name: str, **options) -> ExecutorBackend:
+    """Build a backend by CLI name (``serial``/``pool``/``file-queue``)."""
+    return BACKENDS.get(name)(**options)

@@ -4,7 +4,11 @@ One entry point for the whole results pipeline:
 
 * ``run`` — execute one serial experiment runner and print its table;
 * ``campaign`` — run a sharded campaign (by experiment name or from a spec
-  JSON file) across a worker pool, persisting to a result store;
+  JSON file) on an executor backend — in-process, a local process pool, or
+  file-queue workers — persisting to a result store;
+* ``worker`` — a file-queue worker: claim shards from a campaign store on a
+  shared filesystem, execute them, write records (run any number of these,
+  on any host that mounts the store);
 * ``resume`` — continue a stored campaign, skipping completed shards;
 * ``report`` — print the merged results of a stored campaign;
 * ``list-scenarios`` — the registered scenarios, campaign experiments, and
@@ -25,7 +29,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.api import SCENARIOS
 from repro.campaign.adapters import CAMPAIGNS, get_adapter
-from repro.campaign.engine import run_campaign
+from repro.campaign.backends import ExecutorBackend, make_backend
+from repro.campaign.engine import ProgressCallback, run_campaign
+from repro.campaign.progress import CampaignProgress
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore, ShardRecord
 
@@ -143,10 +149,49 @@ def _progress(completed: int, total: int, record: ShardRecord) -> None:
         f"done in {record.elapsed_s:.2f}s\n")
 
 
+def _eta_progress(spec: CampaignSpec, completed_at_start: int,
+                  total: int) -> ProgressCallback:
+    """Campaign-level progress lines: completed/total, throughput, ETA."""
+    tracker = CampaignProgress(spec.name, spec.experiment, total=total,
+                               completed=completed_at_start)
+
+    def callback(completed: int, total_shards: int, record: ShardRecord) -> None:
+        tracker.total = total_shards
+        tracker.record_completed(completed)
+        sys.stderr.write(tracker.format_line() + "\n")
+
+    return callback
+
+
+def _choose_progress(spec: CampaignSpec,
+                     args: argparse.Namespace) -> Optional[ProgressCallback]:
+    if args.quiet:
+        return None
+    if getattr(args, "progress", False):
+        completed = 0
+        if args.out:
+            completed = len(ResultStore(args.out).completed_indices())
+        return _eta_progress(spec, completed, spec.num_shards)
+    return _progress
+
+
+def _build_backend(args: argparse.Namespace) -> Optional[ExecutorBackend]:
+    """The explicit --backend choice (None defers to the workers heuristic)."""
+    name = getattr(args, "backend", None)
+    if name is None:
+        return None
+    try:
+        return make_backend(name, workers=args.workers,
+                            lease_timeout_s=args.lease_timeout)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
+
+
 def _finish_campaign(spec: CampaignSpec, args: argparse.Namespace) -> int:
     store = ResultStore(args.out) if args.out else None
     run = run_campaign(spec, workers=args.workers, store=store,
-                       progress=None if args.quiet else _progress)
+                       progress=_choose_progress(spec, args),
+                       backend=_build_backend(args))
     _print(f"campaign {spec.name!r} ({spec.experiment}): "
            f"{len(run.records)} shard(s), {run.executed} executed, "
            f"{len(run.results)} replicate(s)")
@@ -201,6 +246,19 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return _finish_campaign(spec, args)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.worker import run_worker
+
+    try:
+        run_worker(args.queue, poll_s=args.poll, max_shards=args.max_shards,
+                   exit_when_empty=args.exit_when_empty,
+                   startup_timeout_s=args.startup_timeout, quiet=args.quiet)
+    except TimeoutError as error:
+        # A typo'd --queue must not look like a successful drain.
+        raise SystemExit(f"worker: {error}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     spec = store.require_spec()
@@ -219,6 +277,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed = merged.seeds[replicate]
         _print_result(result, f"--- replicate {replicate} (seed {seed}) ---")
     return 0
+
+
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``campaign`` and ``resume``."""
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count: pool processes, or spawned local "
+                             "file-queue workers (0 = external workers only)")
+    parser.add_argument("--backend", default=None, metavar="BACKEND",
+                        help="executor backend: serial, pool, or file-queue "
+                             "(default: serial for --workers 1, else pool)")
+    parser.add_argument("--lease-timeout", type=float, default=60.0,
+                        help="file-queue: seconds before an unfinished "
+                             "worker claim is re-queued (default 60)")
+    parser.add_argument("--progress", action="store_true",
+                        help="campaign-level progress lines "
+                             "(completed/total, throughput, ETA)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
 
 
 # --------------------------------------------------------------------- main
@@ -241,8 +317,6 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="run a sharded multi-process campaign")
     campaign.add_argument("experiment",
                           help="campaign experiment name or spec JSON path")
-    campaign.add_argument("--workers", type=int, default=1,
-                          help="worker process count (default 1)")
     campaign.add_argument("--out", metavar="DIR", default=None,
                           help="result-store directory (enables resume)")
     campaign.add_argument("--param", action="append", metavar="KEY=VALUE",
@@ -254,18 +328,33 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--num-seeds", type=int, default=None,
                           help="derive this many replicate seeds from the master")
     campaign.add_argument("--name", default=None, help="campaign name override")
-    campaign.add_argument("--quiet", action="store_true",
-                          help="suppress per-shard progress")
+    _add_execution_options(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     resume = commands.add_parser(
         "resume", help="continue a stored campaign (skips completed shards)")
     resume.add_argument("store", help="result-store directory")
-    resume.add_argument("--workers", type=int, default=1,
-                        help="worker process count (default 1)")
-    resume.add_argument("--quiet", action="store_true",
-                        help="suppress per-shard progress")
+    _add_execution_options(resume)
     resume.set_defaults(handler=_cmd_resume)
+
+    worker = commands.add_parser(
+        "worker",
+        help="file-queue worker: claim and execute shards from a campaign store")
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="the campaign's result-store directory (its --out)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between polls when idle (default 0.2)")
+    worker.add_argument("--max-shards", type=int, default=None,
+                        help="exit after executing this many shards")
+    worker.add_argument("--exit-when-empty", action="store_true",
+                        help="exit once the queue is ready and drained "
+                             "(instead of waiting for more work)")
+    worker.add_argument("--startup-timeout", type=float, default=60.0,
+                        help="with --exit-when-empty, how long to wait for "
+                             "the queue to appear (default 60s)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard worker logs")
+    worker.set_defaults(handler=_cmd_worker)
 
     report = commands.add_parser(
         "report", help="print the merged results of a stored campaign")

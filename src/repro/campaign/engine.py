@@ -1,30 +1,35 @@
-"""Sharded multi-process campaign execution.
+"""Sharded campaign execution over pluggable executor backends.
 
 ``run_campaign`` compiles a :class:`~repro.campaign.spec.CampaignSpec` into
-its canonical shard list, executes the shards — in-process for one worker, on
-a ``ProcessPoolExecutor`` otherwise — and reduces the records into one merged
-experiment result per seed replicate.
+its canonical shard list, hands the pending shards to an
+:class:`~repro.campaign.backends.ExecutorBackend` — in-process serial, a
+local process pool, or file-queue workers scattered across hosts — and
+reduces the records into one merged experiment result per seed replicate.
 
 Determinism contract: a shard is a pure function of ``(spec, shard)`` (its
 seed was fixed at compile time, in canonical order), every record is
 canonicalised through the JSON serde before merging (so in-process, pickled,
 and disk-loaded records are indistinguishable), and merging consumes records
 in shard-index order.  The merged result is therefore bit-identical for any
-worker count, scheduling order, or resume history.
+backend, worker count, scheduling order, or resume history.
 
 With a :class:`~repro.campaign.store.ResultStore` attached, each completed
-shard is persisted atomically as it lands and already-persisted shards are
-skipped on resume, so a killed campaign continues where it stopped.
+shard is persisted atomically (and durably) as it lands, already-persisted
+shards are skipped on resume, and a ``progress.json`` heartbeat tracks
+completed/total shards, throughput, and ETA — so a killed campaign continues
+where it stopped and a long one can be watched from any host that sees the
+store.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.adapters import CampaignAdapter, get_adapter
+from repro.campaign.backends import ExecutorBackend, ProcessPoolBackend, SerialBackend
+from repro.campaign.progress import CampaignProgress
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.campaign.store import (
     CampaignResult,
@@ -92,9 +97,17 @@ def _shard_task(spec_data: Dict[str, Any], shard_data: Dict[str, Any]) -> Dict[s
     return execute_shard(spec, shard).to_dict()
 
 
+def default_backend(workers: int) -> ExecutorBackend:
+    """The historical worker-count behaviour as a backend choice."""
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    return SerialBackend() if workers == 1 else ProcessPoolBackend(workers)
+
+
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  store: Optional[ResultStore] = None,
-                 progress: Optional[ProgressCallback] = None) -> CampaignRun:
+                 progress: Optional[ProgressCallback] = None,
+                 backend: Optional[ExecutorBackend] = None) -> CampaignRun:
     """Execute a campaign and merge its shards into experiment results.
 
     Parameters
@@ -102,16 +115,22 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     spec:
         The campaign to run.
     workers:
-        Process count; ``1`` executes in-process (no pool).
+        Process count when no explicit ``backend`` is given; ``1`` executes
+        in-process (:class:`~repro.campaign.backends.SerialBackend`), more
+        uses a local :class:`~repro.campaign.backends.ProcessPoolBackend`.
     store:
         Optional on-disk store.  Completed shards are persisted atomically as
         they land; shards already persisted (from an earlier, possibly
-        killed, run of the same spec) are not recomputed.
+        killed, run of the same spec) are not recomputed; a ``progress.json``
+        heartbeat tracks completion and ETA.
     progress:
         Optional callback invoked after every completed shard.
+    backend:
+        Explicit executor backend; overrides the ``workers`` heuristic.  The
+        merged result is bit-identical whichever backend runs the shards.
     """
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
+    if backend is None:
+        backend = default_backend(workers)
     adapter = get_adapter(spec.experiment)
     # An axis the shard runner does not understand would silently multiply
     # shards and desynchronise the serial-slice arithmetic; fail instead.
@@ -133,38 +152,25 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     pending = [shard for shard in shards if shard.index not in records]
     completed = len(records)
     total = len(shards)
+    tracker = CampaignProgress(spec.name, spec.experiment, total=total,
+                               completed=completed)
+    if store is not None:
+        store.save_progress(tracker.snapshot())
 
-    def _land(record: ShardRecord) -> None:
+    def _land(record: ShardRecord, persisted: bool = False) -> None:
         nonlocal completed
         records[record.index] = record
         completed += 1
-        if store is not None:
+        if store is not None and not persisted:
             store.save_record(record)
+        tracker.record_completed(completed)
+        if store is not None:
+            store.save_progress(tracker.snapshot())
         if progress is not None:
             progress(completed, total, record)
 
-    if workers == 1 or len(pending) <= 1:
-        for shard in pending:
-            _land(execute_shard(spec, shard))
-    else:
-        spec_data = spec.to_dict()
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = [pool.submit(_shard_task, spec_data, shard.to_dict())
-                       for shard in pending]
-            # Land every successful shard (persisting it when a store is
-            # attached) before propagating the first failure, so one bad
-            # shard never throws away the other workers' finished work.
-            failure: Optional[BaseException] = None
-            for future in as_completed(futures):
-                try:
-                    record = ShardRecord.from_dict(future.result())
-                except BaseException as error:
-                    if failure is None:
-                        failure = error
-                    continue
-                _land(record)
-            if failure is not None:
-                raise failure
+    if pending:
+        backend.execute(spec, pending, _land, store)
 
     ordered = [records[shard.index] for shard in shards]
     results = _merge(adapter, spec, ordered)
@@ -172,6 +178,7 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                       executed=len(pending))
     if store is not None:
         store.save_merged(run.campaign_result())
+        store.save_progress(tracker.snapshot())
     return run
 
 

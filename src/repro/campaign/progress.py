@@ -1,0 +1,119 @@
+"""Campaign-level progress accounting: completed/total, throughput, ETA.
+
+One :class:`CampaignProgress` instance tracks a single campaign execution.
+The engine updates it as shards land and, when a result store is attached,
+persists each snapshot as the store's ``progress.json`` heartbeat — so an
+operator (or a monitoring script) can watch a long campaign converge from any
+host that sees the shared store, including file-queue runs whose workers are
+scattered across machines.  The CLI's ``--progress`` flag renders the same
+snapshots as one-line updates.
+
+Throughput and ETA are computed from the shards *executed this run*: shards
+that were resumed from the store completed at some earlier time and would
+poison the rate estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["CampaignProgress", "format_duration"]
+
+
+def format_duration(seconds: Optional[float]) -> str:
+    """A compact human rendering of a duration (``None``/infinite -> ``?``)."""
+    if seconds is None or seconds != seconds or seconds == float("inf"):
+        return "?"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class CampaignProgress:
+    """Progress/ETA accounting for one campaign execution."""
+
+    def __init__(self, name: str, experiment: str, total: int,
+                 completed: int = 0) -> None:
+        if total < 0 or completed < 0 or completed > total:
+            raise ValueError("progress counters out of range")
+        self.name = name
+        self.experiment = experiment
+        self.total = total
+        #: Shards with a record (resumed ones included).
+        self.completed = completed
+        #: Shards executed by this run (drives throughput/ETA).
+        self.executed = 0
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------ updates
+    def record_completed(self, completed: Optional[int] = None) -> None:
+        """Count one more landed shard (or jump to an absolute count)."""
+        if completed is None:
+            self.completed += 1
+        else:
+            self.completed = int(completed)
+        self.executed += 1
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since this run started."""
+        return time.perf_counter() - self._started
+
+    @property
+    def remaining(self) -> int:
+        """Shards still without a record."""
+        return self.total - self.completed
+
+    @property
+    def throughput_shards_per_s(self) -> float:
+        """Execution rate of this run (0.0 until the first shard lands)."""
+        elapsed = self.elapsed_s
+        if self.executed == 0 or elapsed <= 0:
+            return 0.0
+        return self.executed / elapsed
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds until the last shard lands (``None`` if unknown)."""
+        if self.remaining == 0:
+            return 0.0
+        rate = self.throughput_shards_per_s
+        if rate <= 0:
+            return None
+        return self.remaining / rate
+
+    @property
+    def done(self) -> bool:
+        """True once every shard has a record."""
+        return self.completed >= self.total
+
+    # ----------------------------------------------------------------- output
+    def snapshot(self) -> Dict[str, Any]:
+        """The heartbeat document (what ``progress.json`` holds)."""
+        eta = self.eta_s
+        return {
+            "name": self.name,
+            "experiment": self.experiment,
+            "total_shards": self.total,
+            "completed_shards": self.completed,
+            "executed_this_run": self.executed,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_shards_per_s": round(self.throughput_shards_per_s, 4),
+            "eta_s": None if eta is None else round(eta, 3),
+            "done": self.done,
+            "updated_unix": time.time(),
+        }
+
+    def format_line(self) -> str:
+        """One-line rendering for the CLI's ``--progress`` mode."""
+        percent = 100.0 * self.completed / self.total if self.total else 100.0
+        return (f"[{self.completed}/{self.total}] {percent:5.1f}% | "
+                f"{self.throughput_shards_per_s:.2f} shard/s | "
+                f"ETA {format_duration(self.eta_s)}")

@@ -4,8 +4,12 @@ One directory per campaign run:
 
 * ``campaign.json`` — the :class:`~repro.campaign.spec.CampaignSpec`;
 * ``shards/shard-00042.json`` — one :class:`ShardRecord` per completed shard,
-  written atomically (temp file + ``os.replace``) so a killed run never
-  leaves a half-written record behind;
+  written atomically (temp file + fsync + ``os.replace`` + directory fsync)
+  so a killed run — or a crashed *host*, which matters once file-queue
+  workers share the store over a network filesystem — never leaves a
+  half-written or vanishing record behind;
+* ``progress.json`` — the engine's campaign-progress heartbeat (completed /
+  total shards, throughput, ETA); informational only, never merged;
 * ``merged.json`` — the merged :class:`CampaignResult` once every shard is in.
 
 Resuming is skip-on-record: the engine re-plans the shard list from the spec,
@@ -16,6 +20,7 @@ results), and only executes the missing shards.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from dataclasses import dataclass, field
@@ -25,7 +30,8 @@ from typing import Any, Dict, Optional, Tuple
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.utils.serde import JsonSerializable
 
-__all__ = ["CampaignResult", "ResultStore", "ShardRecord", "StoreMismatchError"]
+__all__ = ["CampaignResult", "ResultStore", "ShardRecord", "StoreMismatchError",
+           "fsync_directory"]
 
 
 class StoreMismatchError(RuntimeError):
@@ -72,11 +78,31 @@ class CampaignResult(JsonSerializable):
     results: Tuple[Dict[str, Any], ...]
 
 
+def fsync_directory(path: Path) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    ``os.replace`` makes a write atomic but not durable: until the directory
+    entry itself is synced, a host crash can lose the whole rename.  Platforms
+    that cannot open directories (Windows) simply skip the sync.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class ResultStore:
     """Directory-backed persistence for one campaign run."""
 
     SPEC_FILE = "campaign.json"
     MERGED_FILE = "merged.json"
+    PROGRESS_FILE = "progress.json"
     SHARD_DIR = "shards"
 
     def __init__(self, root) -> None:
@@ -92,19 +118,35 @@ class ResultStore:
     def merged_path(self) -> Path:
         return self.root / self.MERGED_FILE
 
+    @property
+    def progress_path(self) -> Path:
+        return self.root / self.PROGRESS_FILE
+
     def shard_path(self, index: int) -> Path:
         return self.shard_dir / f"shard-{index:05d}.json"
 
     # ---------------------------------------------------------------- writing
-    def _write_atomic(self, path: Path, text: str) -> Path:
-        """Write ``text`` to ``path`` atomically (same-directory temp file)."""
+    def _write_atomic(self, path: Path, text: str, durable: bool = True) -> Path:
+        """Write ``text`` to ``path`` atomically (same-directory temp file).
+
+        ``durable`` writes additionally fsync the file before the rename and
+        the directory after it, so a completed record survives a host crash —
+        the property the file-queue backend's shared-filesystem workers rely
+        on.  The progress heartbeat opts out: it is rewritten every shard and
+        losing it costs nothing.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, temp_name = tempfile.mkstemp(dir=path.parent,
                                              prefix=path.name + ".", suffix=".tmp")
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as fh:
                 fh.write(text)
+                if durable:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(temp_name, path)
+            if durable:
+                fsync_directory(path.parent)
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -134,6 +176,12 @@ class ResultStore:
         """Atomically persist the merged campaign artifact."""
         return self._write_atomic(self.merged_path, result.to_json() + "\n")
 
+    def save_progress(self, snapshot: Dict[str, Any]) -> Path:
+        """Persist the campaign-progress heartbeat (non-durable by design)."""
+        return self._write_atomic(self.progress_path,
+                                  json.dumps(snapshot, indent=2) + "\n",
+                                  durable=False)
+
     # ---------------------------------------------------------------- reading
     def load_spec(self) -> Optional[CampaignSpec]:
         """The stored spec, or ``None`` for a fresh directory."""
@@ -151,13 +199,34 @@ class ResultStore:
 
     def load_records(self) -> Dict[int, ShardRecord]:
         """All completed shard records, keyed by shard index."""
-        records: Dict[int, ShardRecord] = {}
+        return {index: self.load_record(index) for index in self.record_indices()}
+
+    def load_record(self, index: int) -> ShardRecord:
+        """One completed shard record by index."""
+        return ShardRecord.load_json(self.shard_path(index))
+
+    def load_progress(self) -> Optional[Dict[str, Any]]:
+        """The last progress heartbeat, or ``None`` when never written."""
+        if not self.progress_path.exists():
+            return None
+        return json.loads(self.progress_path.read_text(encoding="utf-8"))
+
+    def record_indices(self) -> Tuple[int, ...]:
+        """Indices of persisted shard records without parsing their payloads.
+
+        The file-queue coordinator polls this every tick, so it must stay a
+        directory listing — reading record *contents* is deferred to
+        :meth:`load_record` for only the indices that are new.
+        """
         if not self.shard_dir.exists():
-            return records
-        for path in sorted(self.shard_dir.glob("shard-*.json")):
-            record = ShardRecord.load_json(path)
-            records[record.index] = record
-        return records
+            return ()
+        indices = []
+        for path in self.shard_dir.glob("shard-*.json"):
+            try:
+                indices.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return tuple(sorted(indices))
 
     def load_merged(self) -> Optional[CampaignResult]:
         """The merged artifact, or ``None`` when not yet written."""
@@ -167,4 +236,4 @@ class ResultStore:
 
     def completed_indices(self) -> Tuple[int, ...]:
         """Indices of shards with a persisted record, ascending."""
-        return tuple(sorted(self.load_records()))
+        return self.record_indices()

@@ -1,0 +1,115 @@
+"""File-queue campaign worker: claim shards, execute, persist records.
+
+``python -m repro worker --queue DIR`` runs this loop against a campaign
+result store (``DIR`` is the same directory the coordinator was given via
+``--out``).  Any number of workers — on this host or any host that mounts the
+store's filesystem — drain the queue cooperatively:
+
+1. wait for the coordinator's ``ready`` marker (the queue may not exist yet);
+2. claim one task via atomic rename (``queue/tasks`` -> ``queue/leases``);
+3. execute the shard and write its record durably into ``shards/``;
+4. release the lease and go back to 2.
+
+A worker that dies mid-shard simply leaves its lease behind; the coordinator
+re-queues it once the lease times out.  Because shards are pure functions of
+``(spec, shard)``, a shard executed twice (a slow worker racing its own
+re-queued task) writes byte-compatible records and the merged result is
+unaffected.
+
+Shard *failures* are terminal, not retried: the worker moves the task to
+``queue/failed`` with the traceback so the coordinator can report it instead
+of spinning the queue forever on a deterministic error.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from typing import Optional
+
+from repro.campaign.backends import FileQueue
+from repro.campaign.engine import execute_shard
+from repro.campaign.spec import ShardSpec
+from repro.campaign.store import ResultStore
+
+__all__ = ["run_worker"]
+
+
+def _log(message: str, quiet: bool) -> None:
+    if not quiet:
+        sys.stderr.write(f"[worker] {message}\n")
+
+
+def run_worker(queue_dir, poll_s: float = 0.2,
+               max_shards: Optional[int] = None,
+               exit_when_empty: bool = False,
+               startup_timeout_s: float = 60.0,
+               quiet: bool = False) -> int:
+    """Drain a file-queue campaign; returns the number of shards executed.
+
+    Parameters
+    ----------
+    queue_dir:
+        The campaign's result-store directory (the coordinator's ``--out``).
+    poll_s:
+        Sleep between polls while the queue is empty or not yet ready.
+    max_shards:
+        Stop after executing this many shards (``None``: unbounded).
+    exit_when_empty:
+        Exit once the queue is ready and holds no pending task, instead of
+        waiting for more work.  This is the mode CI and tests use; a
+        long-lived fleet worker omits it and is simply terminated.
+    startup_timeout_s:
+        With ``exit_when_empty``, how long to wait for the queue to become
+        ready before giving up (covers workers started before the
+        coordinator); expiry raises :class:`TimeoutError` so a misconfigured
+        ``--queue`` path cannot masquerade as a successful drain.
+    """
+    if poll_s <= 0:
+        raise ValueError("poll_s must be positive")
+    store = ResultStore(queue_dir)
+    queue = FileQueue(store.root)
+    started = time.monotonic()
+    executed = 0
+    spec = None
+    while True:
+        if not queue.ready:
+            if exit_when_empty and time.monotonic() - started > startup_timeout_s:
+                raise TimeoutError(
+                    f"queue at {queue.root} never became ready within "
+                    f"{startup_timeout_s:.0f}s (wrong --queue path, or no "
+                    "coordinator running?)")
+            time.sleep(poll_s)
+            continue
+        lease = queue.claim()
+        if lease is None:
+            if exit_when_empty:
+                _log(f"queue drained after {executed} shard(s); exiting", quiet)
+                return executed
+            time.sleep(poll_s)
+            continue
+        if spec is None:
+            spec = store.require_spec()
+        try:
+            shard = ShardSpec.load_json(lease)
+        except FileNotFoundError:
+            # The coordinator deemed our lease expired and re-queued it
+            # between the claim and the read; the shard is someone else's
+            # now — move on rather than dying.
+            continue
+        try:
+            record = execute_shard(spec, shard)
+        except BaseException:
+            queue.record_failure(lease, traceback.format_exc())
+            _log(f"shard {shard.index} failed (recorded for the coordinator)",
+                 quiet)
+            continue
+        store.save_record(record)
+        queue.release(lease)
+        executed += 1
+        _log(f"shard {record.index} done in {record.elapsed_s:.2f}s "
+             f"(total {executed})", quiet)
+        if max_shards is not None and executed >= max_shards:
+            _log(f"reached max-shards={max_shards}; exiting", quiet)
+            return executed

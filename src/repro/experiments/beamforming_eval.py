@@ -12,13 +12,14 @@ transmission ... resulting in higher throughput and better reliability".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.aoa.covariance import correlation_matrix
 from repro.aoa.estimator import EstimatorConfig
 from repro.api import Deployment, single_ap_scenario
+from repro.campaign.spec import CampaignSpec, ShardSpec, estimator_from_params
 from repro.core.beamforming import (
     beamforming_gain_db,
     downlink_channel_vector,
@@ -58,35 +59,101 @@ class BeamformingResult(JsonSerializable):
             ["client", "AoA-steered gain (dB)", "eigen/MRT gain (dB)"], rows)
 
 
+def _client_gains(deployment: Deployment, client_id: int) -> Tuple[float, float]:
+    """One client's (steering, eigen) downlink gains in dB.
+
+    Consumes exactly one capture from the AP's simulator (the shard-skip
+    unit); everything else — ray tracing, weight computation — is
+    deterministic arithmetic.
+    """
+    simulator = deployment.simulator()
+    ap = deployment.ap()
+    capture = simulator.capture_from_client(client_id)
+    calibrated = ap.calibration.apply(capture)
+    estimate = ap.analyze(calibrated)
+
+    paths = simulator.raytracer.trace(
+        deployment.environment.client_position(client_id), simulator.ap_position)
+    channel = downlink_channel_vector(ap.array, paths,
+                                      orientation_deg=simulator.orientation_deg)
+
+    steered = steering_weights(ap.array, estimate.bearing_deg)
+    mrt = eigen_weights(correlation_matrix(calibrated.samples))
+    return (beamforming_gain_db(steered, channel),
+            beamforming_gain_db(mrt, channel))
+
+
 def run_beamforming_evaluation(client_ids: Optional[Sequence[int]] = None,
                                estimator_config: Optional[EstimatorConfig] = None,
                                rng: RngLike = 42) -> BeamformingResult:
     """Evaluate downlink beamforming gains derived from uplink AoA."""
     deployment = Deployment(single_ap_scenario(estimator=estimator_config,
                                                name="beamforming"), rng=rng)
-    environment = deployment.environment
     if client_ids is None:
-        client_ids = environment.client_ids
-    simulator = deployment.simulator()
-    ap = deployment.ap()
-    array = ap.array
-    calibration = ap.calibration
+        client_ids = deployment.environment.client_ids
 
     steering_gains: Dict[int, float] = {}
     eigen_gains: Dict[int, float] = {}
     for client_id in client_ids:
-        capture = simulator.capture_from_client(client_id)
-        calibrated = calibration.apply(capture)
-        estimate = ap.analyze(calibrated)
-
-        paths = simulator.raytracer.trace(environment.client_position(client_id),
-                                          simulator.ap_position)
-        channel = downlink_channel_vector(array, paths,
-                                          orientation_deg=simulator.orientation_deg)
-
-        steered = steering_weights(array, estimate.bearing_deg)
-        mrt = eigen_weights(correlation_matrix(calibrated.samples))
-        steering_gains[client_id] = beamforming_gain_db(steered, channel)
-        eigen_gains[client_id] = beamforming_gain_db(mrt, channel)
+        steering_gains[client_id], eigen_gains[client_id] = _client_gains(
+            deployment, client_id)
     return BeamformingResult(steering_gain_db_by_client=steering_gains,
                              eigen_gain_db_by_client=eigen_gains)
+
+
+# ------------------------------------------------------------------- campaign
+@dataclass(frozen=True)
+class BeamformingShard(JsonSerializable):
+    """One beamforming campaign shard: a single client's downlink gains."""
+
+    client_id: int
+    steering_gain_db: float
+    eigen_gain_db: float
+
+
+def beamforming_campaign(client_ids: Optional[Sequence[int]] = None,
+                         seed: int = 42,
+                         name: str = "beamforming") -> CampaignSpec:
+    """The beamforming evaluation as a campaign: one shard per client.
+
+    The lone replicate reproduces :func:`run_beamforming_evaluation`
+    bit-for-bit: each shard rebuilds the deployment from the same seed and
+    fast-forwards the simulator past the earlier clients' packets (one
+    capture each).
+    """
+    if client_ids is None:
+        from repro.api import ENVIRONMENTS
+
+        client_ids = ENVIRONMENTS.get("figure4")().client_ids
+    return CampaignSpec(
+        name=name,
+        experiment="beamforming",
+        seeds=(int(seed),),
+        axes={"client_id": tuple(int(client) for client in client_ids)},
+    )
+
+
+def run_beamforming_shard(spec: CampaignSpec,
+                          shard: ShardSpec) -> BeamformingShard:
+    """One beamforming campaign shard."""
+    deployment = Deployment(single_ap_scenario(
+        estimator=estimator_from_params(spec.base), name="beamforming"),
+        rng=shard.seed)
+    # Jump to this client's slice (one capture per earlier client).
+    deployment.simulator().skip_captures(shard.point)
+    client_id = int(shard.params["client_id"])
+    steering_gain, eigen_gain = _client_gains(deployment, client_id)
+    return BeamformingShard(client_id=client_id,
+                            steering_gain_db=steering_gain,
+                            eigen_gain_db=eigen_gain)
+
+
+def merge_beamforming(spec: CampaignSpec,
+                      shards: Sequence[BeamformingShard]) -> BeamformingResult:
+    """Reduce one replicate's shard gains into the serial result dataclass."""
+    return BeamformingResult(
+        steering_gain_db_by_client={shard.client_id: shard.steering_gain_db
+                                    for shard in shards},
+        eigen_gain_db_by_client={shard.client_id: shard.eigen_gain_db
+                                 for shard in shards},
+    )

@@ -19,17 +19,25 @@ are known).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.aoa.estimator import EstimatorConfig
 from repro.api import Deployment, fence_scenario
+from repro.campaign.spec import CampaignSpec, ShardSpec, estimator_from_params
 from repro.core.fence import FenceDecision
 from repro.experiments.reporting import format_table
 from repro.geometry.point import Point
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.serde import JsonSerializable
+
+
+#: Defaults shared by the serial runner and the campaign adapter.
+DEFAULT_PACKETS_PER_TRANSMITTER = 3
+DEFAULT_MARGIN_M = 1.0
+#: The fence scenario's strong attacker (declared by ``fence_scenario``).
+ATTACKER_NAME = "directional-attacker"
 
 
 @dataclass(frozen=True)
@@ -87,11 +95,96 @@ class FenceEvaluation(JsonSerializable):
         )
 
 
-def run_fence_evaluation(packets_per_transmitter: int = 3,
-                         margin_m: float = 1.0,
+def _transmitter_population(environment,
+                            client_ids: Optional[Sequence[int]] = None,
+                            outdoor_labels: Optional[Sequence[str]] = None,
+                            include_attacker: bool = True) -> List[Dict[str, Any]]:
+    """The evaluation's transmitters, in the serial runner's capture order.
+
+    Each descriptor is a plain JSON-able dictionary so the same list can be a
+    campaign axis: the indoor clients, then the outdoor probe positions, then
+    (optionally) the strong directional attacker.
+    """
+    transmitters: List[Dict[str, Any]] = []
+    if client_ids is None:
+        client_ids = environment.client_ids
+    for client_id in client_ids:
+        transmitters.append({"kind": "client", "client_id": int(client_id)})
+    if outdoor_labels is None:
+        outdoor_labels = list(environment.outdoor_positions)
+    for label in outdoor_labels:
+        transmitters.append({"kind": "outdoor", "label": str(label)})
+    if include_attacker:
+        transmitters.append({"kind": "attacker", "name": ATTACKER_NAME})
+    return transmitters
+
+
+def _evaluate_transmitter(deployment: Deployment, transmitter: Dict[str, Any],
+                          packets_per_transmitter: int) -> FenceCase:
+    """One transmitter's fence outcome (consumes ``packets_per_transmitter``
+    captures per AP simulator)."""
+    environment = deployment.environment
+    kind = str(transmitter["kind"])
+    attacker = None
+    if kind == "client":
+        client_id = int(transmitter["client_id"])
+        label = f"client-{client_id}"
+        position = environment.client_position(client_id)
+    elif kind == "outdoor":
+        outdoor = str(transmitter["label"])
+        label = f"outdoor-{outdoor}"
+        position = environment.outdoor_positions[outdoor]
+    elif kind == "attacker":
+        # The strong attacker: outdoors, directional antenna aimed at the
+        # main AP.  Building it draws only from the deployment's attacker
+        # address stream, never from the capture streams.
+        attacker = deployment.attackers[str(transmitter["name"])]
+        label = attacker.name
+        position = attacker.position
+    else:
+        raise ValueError(f"unknown fence transmitter kind {kind!r}")
+
+    controller = deployment.controller
+    votes: List[FenceDecision] = []
+    errors: List[float] = []
+    for packet_index in range(packets_per_transmitter):
+        captures = {
+            name: simulator.capture_from_position(
+                position, elapsed_s=packet_index * 0.5, attacker=attacker)
+            for name, simulator in deployment.simulators.items()
+        }
+        check = controller.fence_check(captures)
+        votes.append(check.decision)
+        if check.location is not None and check.decision is not FenceDecision.INDETERMINATE:
+            errors.append(check.location.position.distance_to(position))
+    # Majority vote across the packets of one transmitter.
+    admits = sum(1 for vote in votes if vote is FenceDecision.INSIDE)
+    final = FenceDecision.INSIDE if admits > len(votes) / 2 else (
+        FenceDecision.OUTSIDE if any(v is FenceDecision.OUTSIDE for v in votes)
+        else FenceDecision.INDETERMINATE)
+    truly_inside = environment.is_inside_building(position)
+    return FenceCase(
+        label=label,
+        true_position=position,
+        truly_inside=truly_inside,
+        decision=final,
+        admitted=final is FenceDecision.INSIDE,
+        localization_error_m=float(np.median(errors)) if errors else None,
+    )
+
+
+def run_fence_evaluation(packets_per_transmitter: int = DEFAULT_PACKETS_PER_TRANSMITTER,
+                         margin_m: float = DEFAULT_MARGIN_M,
                          estimator_config: Optional[EstimatorConfig] = None,
+                         client_ids: Optional[Sequence[int]] = None,
+                         outdoor_labels: Optional[Sequence[str]] = None,
+                         include_attacker: bool = True,
                          rng: RngLike = 42) -> FenceEvaluation:
-    """Run the two-AP virtual-fence evaluation on the simulated testbed."""
+    """Run the multi-AP virtual-fence evaluation on the simulated testbed.
+
+    ``client_ids``/``outdoor_labels``/``include_attacker`` restrict the
+    transmitter population (defaults cover everything, as the paper does).
+    """
     if packets_per_transmitter < 1:
         raise ValueError("packets_per_transmitter must be at least 1")
     generator = ensure_rng(rng)
@@ -99,46 +192,64 @@ def run_fence_evaluation(packets_per_transmitter: int = 3,
     # fence and the strong attacker — all declared by the fence scenario spec.
     deployment = Deployment(fence_scenario(estimator=estimator_config,
                                            margin_m=margin_m), rng=generator)
-    environment = deployment.environment
-    simulators = deployment.simulators
-    controller = deployment.controller
-
-    cases: List[FenceCase] = []
-
-    def evaluate(label: str, position: Point, attacker=None) -> None:
-        votes: List[FenceDecision] = []
-        errors: List[float] = []
-        for packet_index in range(packets_per_transmitter):
-            captures = {
-                name: simulator.capture_from_position(
-                    position, elapsed_s=packet_index * 0.5, attacker=attacker)
-                for name, simulator in simulators.items()
-            }
-            check = controller.fence_check(captures)
-            votes.append(check.decision)
-            if check.location is not None and check.decision is not FenceDecision.INDETERMINATE:
-                errors.append(check.location.position.distance_to(position))
-        # Majority vote across the packets of one transmitter.
-        admits = sum(1 for vote in votes if vote is FenceDecision.INSIDE)
-        final = FenceDecision.INSIDE if admits > len(votes) / 2 else (
-            FenceDecision.OUTSIDE if any(v is FenceDecision.OUTSIDE for v in votes)
-            else FenceDecision.INDETERMINATE)
-        truly_inside = environment.is_inside_building(position)
-        cases.append(FenceCase(
-            label=label,
-            true_position=position,
-            truly_inside=truly_inside,
-            decision=final,
-            admitted=final is FenceDecision.INSIDE,
-            localization_error_m=float(np.median(errors)) if errors else None,
-        ))
-
-    for client_id in environment.client_ids:
-        evaluate(f"client-{client_id}", environment.client_position(client_id))
-    for label, position in environment.outdoor_positions.items():
-        evaluate(f"outdoor-{label}", position)
-    # The strong attacker: outdoors with a directional antenna aimed at the main AP.
-    attacker = deployment.attackers["directional-attacker"]
-    evaluate("directional-attacker", attacker.position, attacker=attacker)
-
+    transmitters = _transmitter_population(
+        deployment.environment, client_ids=client_ids,
+        outdoor_labels=outdoor_labels, include_attacker=include_attacker)
+    cases = [
+        _evaluate_transmitter(deployment, transmitter, packets_per_transmitter)
+        for transmitter in transmitters
+    ]
     return FenceEvaluation(cases=cases)
+
+
+# ------------------------------------------------------------------- campaign
+def fence_eval_campaign(packets_per_transmitter: int = DEFAULT_PACKETS_PER_TRANSMITTER,
+                        margin_m: float = DEFAULT_MARGIN_M,
+                        client_ids: Optional[Sequence[int]] = None,
+                        outdoor_labels: Optional[Sequence[str]] = None,
+                        include_attacker: bool = True,
+                        seed: int = 42,
+                        name: str = "fence_eval") -> CampaignSpec:
+    """The fence evaluation as a campaign: one shard per transmitter.
+
+    The lone replicate reproduces :func:`run_fence_evaluation` bit-for-bit:
+    each shard rebuilds the fence deployment from the same seed,
+    fast-forwards every AP simulator past the earlier transmitters' packets,
+    and evaluates its own transmitter exactly as the serial loop would.
+    """
+    from repro.api import ENVIRONMENTS
+
+    environment = ENVIRONMENTS.get("figure4")()
+    transmitters = _transmitter_population(
+        environment, client_ids=client_ids, outdoor_labels=outdoor_labels,
+        include_attacker=include_attacker)
+    return CampaignSpec(
+        name=name,
+        experiment="fence_eval",
+        seeds=(int(seed),),
+        base={"packets_per_transmitter": int(packets_per_transmitter),
+              "margin_m": float(margin_m)},
+        axes={"transmitter": tuple(transmitters)},
+    )
+
+
+def run_fence_shard(spec: CampaignSpec, shard: ShardSpec) -> FenceCase:
+    """One fence-evaluation campaign shard: a single transmitter's case."""
+    packets = int(spec.param("packets_per_transmitter",
+                             DEFAULT_PACKETS_PER_TRANSMITTER))
+    deployment = Deployment(
+        fence_scenario(estimator=estimator_from_params(spec.base),
+                       margin_m=float(spec.param("margin_m", DEFAULT_MARGIN_M))),
+        rng=shard.seed)
+    # Jump every AP's simulator to this transmitter's slice of the serial
+    # capture sequence (each transmitter consumes ``packets`` captures per AP).
+    for simulator in deployment.simulators.values():
+        simulator.skip_captures(shard.point * packets)
+    return _evaluate_transmitter(deployment, dict(shard.params["transmitter"]),
+                                 packets_per_transmitter=packets)
+
+
+def merge_fence_eval(spec: CampaignSpec,
+                     cases: Sequence[FenceCase]) -> FenceEvaluation:
+    """Reduce one replicate's shard cases into the serial result dataclass."""
+    return FenceEvaluation(cases=list(cases))

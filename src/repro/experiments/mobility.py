@@ -5,22 +5,39 @@ speed while transmitting a packet every few hundred milliseconds.  Two or
 more APs estimate the per-packet direct-path bearing, the
 :class:`~repro.core.tracking.MobilityTracker` smooths and triangulates them,
 and the experiment reports the position error along the trace.
+
+The expensive part — capture synthesis and AoA estimation per sample — is
+embarrassingly parallel, so the campaign adapter shards per trace sample and
+replays the (cheap, strictly sequential) tracker over the gathered bearings
+at merge time.  The serial runner goes through the same replay helper, so
+the two paths cannot diverge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.aoa.estimator import EstimatorConfig
 from repro.api import Deployment, three_ap_scenario
+from repro.campaign.spec import CampaignSpec, ShardSpec, estimator_from_params
 from repro.core.tracking import MobilityTracker
 from repro.experiments.reporting import format_table
 from repro.geometry.point import Point
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.serde import JsonSerializable
+
+
+#: Defaults shared by the serial runner and the campaign adapter.
+DEFAULT_START = (9.0, 3.5)
+DEFAULT_END = (22.0, 11.0)
+DEFAULT_NUM_SAMPLES = 15
+DEFAULT_PACKET_INTERVAL_S = 0.4
+DEFAULT_TRACKER_ALPHA = 0.8
+DEFAULT_TRACKER_BETA = 0.3
+DEFAULT_TRACKER_OUTLIER_DEG = 100.0
 
 
 @dataclass(frozen=True)
@@ -53,14 +70,77 @@ class MobilityResult(JsonSerializable):
         return format_table(["sample", "true position", "estimated", "error (m)"], rows)
 
 
-def run_mobility_tracking(start: Tuple[float, float] = (9.0, 3.5),
-                          end: Tuple[float, float] = (22.0, 11.0),
-                          num_samples: int = 15,
-                          packet_interval_s: float = 0.4,
+@dataclass(frozen=True)
+class MobilitySample(JsonSerializable):
+    """One trace sample: per-AP bearings for one transmitted packet.
+
+    Doubles as the campaign shard payload: it carries everything the tracker
+    replay needs, so the merge is pure arithmetic over gathered samples.
+    """
+
+    sample: int
+    timestamp_s: float
+    true_position: Point
+    #: AP name -> global-frame direct-path bearing for this packet.
+    bearings_deg: Dict[str, float]
+
+
+def _trace_positions(start: Tuple[float, float], end: Tuple[float, float],
+                     num_samples: int) -> List[Point]:
+    """The walk's ground-truth positions (endpoints included)."""
+    xs = np.linspace(start[0], end[0], num_samples)
+    ys = np.linspace(start[1], end[1], num_samples)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def _sample_bearings(deployment: Deployment, position: Point,
+                     timestamp: float) -> Dict[str, float]:
+    """Every AP's direct-path bearing for one packet from ``position``.
+
+    Consumes exactly one capture per AP simulator (the shard-skip unit).
+    """
+    bearings: Dict[str, float] = {}
+    for name, simulator in deployment.simulators.items():
+        capture = simulator.capture_from_position(position, elapsed_s=timestamp,
+                                                  timestamp_s=timestamp)
+        estimate = deployment.aps[name].analyze(capture)
+        # Circular arrays report local azimuth; the APs are mounted with
+        # orientation 0 so the local azimuth is already the global bearing.
+        bearings[name] = estimate.bearing_deg
+    return bearings
+
+
+def _replay_tracker(ap_positions: Dict[str, Point],
+                    samples: Sequence[MobilitySample],
+                    tracker_alpha: float, tracker_beta: float,
+                    tracker_outlier_threshold_deg: float) -> MobilityResult:
+    """Feed gathered samples through the tracker, in trace order.
+
+    Shared by the serial runner and the campaign merge: the tracker is
+    strictly sequential, so it always runs here — after the (parallelisable)
+    bearing estimation — and both paths produce bit-identical results.
+    """
+    tracker = MobilityTracker(ap_positions, alpha=tracker_alpha,
+                              beta=tracker_beta,
+                              outlier_threshold_deg=tracker_outlier_threshold_deg)
+    ordered = sorted(samples, key=lambda item: item.sample)
+    for item in ordered:
+        tracker.update(dict(item.bearings_deg), item.timestamp_s)
+    true_positions = [item.true_position for item in ordered]
+    estimated = tracker.positions()
+    errors = tracker.track_error_m(true_positions)
+    return MobilityResult(true_positions=true_positions,
+                          estimated_positions=estimated, errors_m=errors)
+
+
+def run_mobility_tracking(start: Tuple[float, float] = DEFAULT_START,
+                          end: Tuple[float, float] = DEFAULT_END,
+                          num_samples: int = DEFAULT_NUM_SAMPLES,
+                          packet_interval_s: float = DEFAULT_PACKET_INTERVAL_S,
                           estimator_config: Optional[EstimatorConfig] = None,
-                          tracker_alpha: float = 0.8,
-                          tracker_beta: float = 0.3,
-                          tracker_outlier_threshold_deg: float = 100.0,
+                          tracker_alpha: float = DEFAULT_TRACKER_ALPHA,
+                          tracker_beta: float = DEFAULT_TRACKER_BETA,
+                          tracker_outlier_threshold_deg: float = DEFAULT_TRACKER_OUTLIER_DEG,
                           rng: RngLike = 42) -> MobilityResult:
     """Track a client walking from ``start`` to ``end`` across the main office.
 
@@ -76,29 +156,99 @@ def run_mobility_tracking(start: Tuple[float, float] = (9.0, 3.5),
     generator = ensure_rng(rng)
     deployment = Deployment(three_ap_scenario(estimator=estimator_config,
                                               name="mobility"), rng=generator)
-    simulators = deployment.simulators
+    samples = [
+        MobilitySample(
+            sample=index,
+            timestamp_s=index * packet_interval_s,
+            true_position=position,
+            bearings_deg=_sample_bearings(deployment, position,
+                                          index * packet_interval_s),
+        )
+        for index, position in enumerate(_trace_positions(start, end, num_samples))
+    ]
+    return _replay_tracker(
+        {name: ap.position for name, ap in deployment.aps.items()}, samples,
+        tracker_alpha=tracker_alpha, tracker_beta=tracker_beta,
+        tracker_outlier_threshold_deg=tracker_outlier_threshold_deg)
 
-    tracker = MobilityTracker({name: ap.position for name, ap in deployment.aps.items()},
-                              alpha=tracker_alpha, beta=tracker_beta,
-                              outlier_threshold_deg=tracker_outlier_threshold_deg)
 
-    xs = np.linspace(start[0], end[0], num_samples)
-    ys = np.linspace(start[1], end[1], num_samples)
-    true_positions = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+# ------------------------------------------------------------------- campaign
+def mobility_campaign(start: Tuple[float, float] = DEFAULT_START,
+                      end: Tuple[float, float] = DEFAULT_END,
+                      num_samples: int = DEFAULT_NUM_SAMPLES,
+                      packet_interval_s: float = DEFAULT_PACKET_INTERVAL_S,
+                      tracker_alpha: float = DEFAULT_TRACKER_ALPHA,
+                      tracker_beta: float = DEFAULT_TRACKER_BETA,
+                      tracker_outlier_threshold_deg: float = DEFAULT_TRACKER_OUTLIER_DEG,
+                      seed: int = 42,
+                      name: str = "mobility") -> CampaignSpec:
+    """Mobility tracking as a campaign: one shard per trace sample.
 
-    for index, position in enumerate(true_positions):
-        timestamp = index * packet_interval_s
-        bearings: Dict[str, float] = {}
-        for name, simulator in simulators.items():
-            capture = simulator.capture_from_position(position, elapsed_s=timestamp,
-                                                      timestamp_s=timestamp)
-            estimate = deployment.aps[name].analyze(capture)
-            # Circular arrays report local azimuth; the APs are mounted with
-            # orientation 0 so the local azimuth is already the global bearing.
-            bearings[name] = estimate.bearing_deg
-        tracker.update(bearings, timestamp)
+    Shards estimate bearings (the expensive part) independently; the
+    sequential tracker replays over the gathered samples at merge time, so
+    the lone replicate reproduces :func:`run_mobility_tracking` bit-for-bit.
+    """
+    if num_samples < 2:
+        raise ValueError("num_samples must be at least 2")
+    return CampaignSpec(
+        name=name,
+        experiment="mobility",
+        seeds=(int(seed),),
+        base={"start": [float(start[0]), float(start[1])],
+              "end": [float(end[0]), float(end[1])],
+              "num_samples": int(num_samples),
+              "packet_interval_s": float(packet_interval_s),
+              "tracker_alpha": float(tracker_alpha),
+              "tracker_beta": float(tracker_beta),
+              "tracker_outlier_threshold_deg": float(tracker_outlier_threshold_deg)},
+        axes={"sample": tuple(range(int(num_samples)))},
+    )
 
-    estimated = tracker.positions()
-    errors = tracker.track_error_m(true_positions)
-    return MobilityResult(true_positions=true_positions, estimated_positions=estimated,
-                          errors_m=errors)
+
+def _base_trace(spec: CampaignSpec) -> List[Point]:
+    start = spec.param("start", list(DEFAULT_START))
+    end = spec.param("end", list(DEFAULT_END))
+    num_samples = int(spec.param("num_samples", DEFAULT_NUM_SAMPLES))
+    return _trace_positions((float(start[0]), float(start[1])),
+                            (float(end[0]), float(end[1])), num_samples)
+
+
+def run_mobility_shard(spec: CampaignSpec, shard: ShardSpec) -> MobilitySample:
+    """One mobility campaign shard: a single trace sample's bearings."""
+    deployment = Deployment(
+        three_ap_scenario(estimator=estimator_from_params(spec.base),
+                          name="mobility"), rng=shard.seed)
+    sample = int(shard.params["sample"])
+    positions = _base_trace(spec)
+    timestamp = sample * float(spec.param("packet_interval_s",
+                                          DEFAULT_PACKET_INTERVAL_S))
+    # Jump every AP's simulator past the earlier samples' packets (one
+    # capture per AP per sample).
+    for simulator in deployment.simulators.values():
+        simulator.skip_captures(shard.point)
+    return MobilitySample(
+        sample=sample,
+        timestamp_s=timestamp,
+        true_position=positions[sample],
+        bearings_deg=_sample_bearings(deployment, positions[sample], timestamp),
+    )
+
+
+def merge_mobility(spec: CampaignSpec,
+                   samples: Sequence[MobilitySample]) -> MobilityResult:
+    """Replay the tracker over one replicate's gathered samples."""
+    from repro.api import ENVIRONMENTS
+
+    scenario = three_ap_scenario(name="mobility")
+    environment = ENVIRONMENTS.get(scenario.environment)()
+    ap_positions = {
+        ap_spec.name: ap_spec.resolve_position(environment)
+        for ap_spec in scenario.resolved_access_points()
+    }
+    return _replay_tracker(
+        ap_positions, samples,
+        tracker_alpha=float(spec.param("tracker_alpha", DEFAULT_TRACKER_ALPHA)),
+        tracker_beta=float(spec.param("tracker_beta", DEFAULT_TRACKER_BETA)),
+        tracker_outlier_threshold_deg=float(
+            spec.param("tracker_outlier_threshold_deg",
+                       DEFAULT_TRACKER_OUTLIER_DEG)))

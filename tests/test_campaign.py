@@ -125,49 +125,8 @@ class TestCampaignDeterminism:
                                   attacker_client_ids=(3, 9))
         assert run.result.to_json() == serial.to_json()
 
-    def test_every_adapter_matches_its_serial_runner(self):
-        # Small-parameter serial-vs-campaign bit-identity for every adapter
-        # whose skip arithmetic is not already covered above.  Guards the
-        # per-experiment capture-prefix accounting (and the spoofing shards'
-        # detector/tracker state replay) against drift in the serial loops.
-        from repro.experiments import (
-            run_calibration_ablation,
-            run_estimator_comparison,
-            run_figure6,
-            run_figure7,
-            run_packets_per_signature_sweep,
-            run_snr_sweep,
-            run_spoofing_evaluation,
-        )
-
-        cases = [
-            ("figure6", {"client_ids": (2, 5), "time_offsets_s": (0.0, 1.0, 10.0)},
-             run_figure6, {"client_ids": (2, 5), "time_offsets_s": (0.0, 1.0, 10.0)}),
-            ("figure7", {"antenna_counts": (2, 4, 8), "num_packets": 2},
-             run_figure7, {"antenna_counts": (2, 4, 8), "num_packets": 2}),
-            ("spoofing_eval", {"num_training_packets": 2, "num_test_packets": 3},
-             run_spoofing_evaluation,
-             {"num_training_packets": 2, "num_test_packets": 3}),
-            ("calibration_ablation", {"client_ids": (1, 3), "packets_per_client": 2},
-             run_calibration_ablation,
-             {"client_ids": (1, 3), "packets_per_client": 2}),
-            ("estimator_comparison", {"client_ids": (13, 14), "packets_per_client": 2},
-             run_estimator_comparison,
-             {"client_ids": (13, 14), "packets_per_client": 2}),
-            ("snr_sweep", {"tx_powers_dbm": (-45.0, 15.0), "client_ids": (1, 5),
-                           "packets_per_point": 2},
-             run_snr_sweep, {"tx_powers_dbm": (-45.0, 15.0), "client_ids": (1, 5),
-                             "packets_per_point": 2}),
-            ("packets_per_signature", {"training_sizes": (1, 2),
-                                       "num_probe_packets": 2},
-             run_packets_per_signature_sweep,
-             {"training_sizes": (1, 2), "num_probe_packets": 2}),
-        ]
-        for name, campaign_kwargs, serial_fn, serial_kwargs in cases:
-            spec = get_adapter(name).default_spec(**campaign_kwargs)
-            run = run_campaign(spec, workers=1)
-            serial = serial_fn(**serial_kwargs)
-            assert run.result.to_json() == serial.to_json(), name
+    # (Per-adapter serial-vs-campaign bit-identity lives in the
+    # auto-discovering conformance suite: tests/test_campaign_conformance.py.)
 
     def test_unknown_axis_is_rejected_before_execution(self):
         # A typo'd --axis would otherwise multiply shards and silently

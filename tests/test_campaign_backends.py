@@ -1,0 +1,261 @@
+"""Executor backends: bit-identity matrix, file-queue protocol, crash recovery.
+
+The campaign engine's core promise is that the merged result is a pure
+function of the spec — not of the backend, worker count, scheduling, or crash
+history.  These tests run one small campaign under every backend and require
+the *bytes* of ``merged.json`` to be identical, then attack the file-queue
+backend's recovery paths (orphaned leases, a worker killed mid-run).
+"""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    FileQueueBackend,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    ShardFailure,
+    get_adapter,
+    run_campaign,
+    run_worker,
+)
+from repro.campaign.backends import FileQueue
+
+import repro
+
+
+def small_spec():
+    return get_adapter("figure5").default_spec(client_ids=(1, 2, 3, 4),
+                                               num_packets=1)
+
+
+def worker_env():
+    """Subprocess environment that can ``import repro`` like this process."""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(store_root, *extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--queue", str(store_root),
+         "--poll", "0.05", *extra],
+        env=worker_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def wait_until(predicate, timeout_s=120.0, poll_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+@pytest.fixture(scope="module")
+def reference_merged(tmp_path_factory):
+    """The serial run's merged.json bytes (what every backend must hit)."""
+    store = ResultStore(tmp_path_factory.mktemp("reference") / "campaign")
+    run_campaign(small_spec(), workers=1, store=store)
+    return store.merged_path.read_bytes()
+
+
+BACKENDS = [
+    ("serial", lambda: SerialBackend()),
+    ("pool-1", lambda: ProcessPoolBackend(1)),
+    ("pool-4", lambda: ProcessPoolBackend(4)),
+    ("file-queue-2", lambda: FileQueueBackend(workers=2, poll_s=0.05,
+                                              timeout_s=300.0)),
+]
+
+
+class TestBackendBitIdentity:
+    @pytest.mark.parametrize("label,factory", BACKENDS,
+                             ids=[label for label, _ in BACKENDS])
+    def test_merged_json_byte_identical_across_backends(
+            self, label, factory, tmp_path, reference_merged):
+        store = ResultStore(tmp_path / "campaign")
+        run = run_campaign(small_spec(), store=store, backend=factory())
+        assert run.executed == 4
+        assert store.merged_path.read_bytes() == reference_merged
+
+    def test_explicit_backend_overrides_workers_heuristic(self, tmp_path):
+        # workers=7 would mean a pool; the explicit serial backend wins.
+        store = ResultStore(tmp_path / "campaign")
+        run = run_campaign(small_spec(), workers=7, store=store,
+                           backend=SerialBackend())
+        assert run.executed == 4
+
+
+class TestFileQueueProtocol:
+    def test_requires_a_store(self):
+        with pytest.raises(ValueError, match="result store"):
+            run_campaign(small_spec(),
+                         backend=FileQueueBackend(workers=1, timeout_s=60.0))
+
+    def test_claim_is_exclusive_and_release_clears(self, tmp_path):
+        shards = small_spec().compile()
+        queue = FileQueue(tmp_path)
+        queue.build(shards)
+        assert queue.ready
+        leases = [queue.claim() for _ in range(len(shards) + 1)]
+        assert leases[-1] is None  # nothing left to claim
+        claimed = [lease for lease in leases if lease is not None]
+        assert len(claimed) == len(shards)
+        for lease in claimed:
+            queue.release(lease)
+        assert queue.empty
+
+    def test_claim_starts_a_fresh_lease_clock(self, tmp_path):
+        # os.rename preserves the source mtime, so without an explicit touch
+        # a task enqueued long before its claim would count as instantly
+        # expired — and get re-queued while its worker is mid-shard.
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        task = next(iter(queue._entries(queue.tasks_dir)))
+        stale = time.time() - 3600.0
+        os.utime(task, (stale, stale))
+        lease = queue.claim()
+        assert time.time() - lease.stat().st_mtime < 60.0
+        assert queue.requeue_expired(lease_timeout_s=60.0, recorded=set()) == []
+
+    def test_expired_lease_requeues_without_record(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:2])
+        lease = queue.claim()
+        stale = time.time() - 3600.0
+        os.utime(lease, (stale, stale))
+        # A fresh lease stays put; the stale one goes back to the task queue.
+        fresh = queue.claim()
+        requeued = queue.requeue_expired(lease_timeout_s=60.0, recorded=set())
+        assert requeued == [0]
+        assert not lease.exists()
+        assert fresh.exists()
+        assert queue.claim() is not None  # shard 0 is claimable again
+
+    def test_lease_with_record_is_cleared_not_requeued(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        stale = time.time() - 3600.0
+        os.utime(lease, (stale, stale))
+        assert queue.requeue_expired(lease_timeout_s=60.0, recorded={0}) == []
+        assert queue.empty
+
+    def test_failed_shard_raises_with_worker_traceback(self, tmp_path):
+        # Client 999 does not exist; the worker records the failure and the
+        # coordinator reports it instead of spinning forever.
+        spec = get_adapter("figure5").default_spec(client_ids=(1, 999),
+                                                   num_packets=1)
+        store = ResultStore(tmp_path / "campaign")
+        backend = FileQueueBackend(workers=1, poll_s=0.05, timeout_s=300.0,
+                                   keep_queue=True)
+        with pytest.raises(ShardFailure, match="unknown client id 999"):
+            run_campaign(spec, store=store, backend=backend)
+        # The healthy shard's record still landed before the failure raised.
+        assert 0 in store.completed_indices()
+
+
+class TestWorkerLoop:
+    def test_run_worker_drains_a_prebuilt_queue(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path / "campaign")
+        store.save_spec(spec)
+        FileQueue(store.root).build(spec.compile())
+        executed = run_worker(store.root, poll_s=0.05, exit_when_empty=True)
+        assert executed == 4
+        assert store.completed_indices() == (0, 1, 2, 3)
+        # A second worker finds nothing to do.
+        assert run_worker(store.root, poll_s=0.05, exit_when_empty=True) == 0
+
+    def test_never_ready_queue_raises_instead_of_fake_success(self, tmp_path):
+        with pytest.raises(TimeoutError, match="never became ready"):
+            run_worker(tmp_path / "nonexistent", poll_s=0.05,
+                       exit_when_empty=True, startup_timeout_s=0.2)
+
+    def test_max_shards_stops_early(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path / "campaign")
+        store.save_spec(spec)
+        FileQueue(store.root).build(spec.compile())
+        assert run_worker(store.root, poll_s=0.05, max_shards=1,
+                          exit_when_empty=True) == 1
+        assert len(store.completed_indices()) == 1
+
+
+class TestCrashRecovery:
+    def test_killed_worker_mid_run_recovers_bit_identically(
+            self, tmp_path, reference_merged):
+        """Kill -9 one worker mid-campaign; the lease re-queues and a healthy
+        worker finishes the campaign to the exact same merged bytes."""
+        spec = small_spec()
+        store = ResultStore(tmp_path / "campaign")
+        backend = FileQueueBackend(workers=0, lease_timeout_s=1.5,
+                                   poll_s=0.05, timeout_s=300.0)
+        outcome = {}
+
+        def coordinate():
+            try:
+                outcome["run"] = run_campaign(spec, store=store, backend=backend)
+            except BaseException as error:  # surfaced after join
+                outcome["error"] = error
+
+        coordinator = threading.Thread(target=coordinate, daemon=True)
+        coordinator.start()
+        queue = FileQueue(store.root)
+        assert wait_until(lambda: queue.ready)
+
+        # The victim claims work; kill it the moment a lease appears (i.e.
+        # mid-shard, before the record can land).
+        victim = spawn_worker(store.root)
+        healthy = None
+        try:
+            wait_until(lambda: queue._entries(queue.leases_dir)
+                       or len(store.record_indices()) >= 4)
+            victim.kill()
+            victim.wait(timeout=30)
+            # A healthy long-lived worker picks up the remaining tasks plus
+            # the victim's shard once its lease expires.
+            healthy = spawn_worker(store.root)
+            coordinator.join(timeout=300)
+            assert not coordinator.is_alive(), "campaign never completed"
+        finally:
+            for proc in (victim, healthy):
+                if proc is not None and proc.poll() is None:
+                    proc.terminate()
+                    proc.wait(timeout=30)
+        assert "error" not in outcome, outcome.get("error")
+        assert outcome["run"].spec == spec
+        assert store.merged_path.read_bytes() == reference_merged
+
+
+class TestProgressHeartbeat:
+    def test_progress_json_tracks_completion(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign")
+        run_campaign(small_spec(), workers=1, store=store)
+        heartbeat = store.load_progress()
+        assert heartbeat is not None
+        assert heartbeat["total_shards"] == 4
+        assert heartbeat["completed_shards"] == 4
+        assert heartbeat["executed_this_run"] == 4
+        assert heartbeat["done"] is True
+        assert heartbeat["eta_s"] == 0.0
+        assert heartbeat["throughput_shards_per_s"] > 0
+
+    def test_resume_reports_only_new_executions(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path / "campaign")
+        run_campaign(spec, workers=1, store=store)
+        store.shard_path(2).unlink()
+        run_campaign(spec, workers=1, store=store)
+        heartbeat = store.load_progress()
+        assert heartbeat["completed_shards"] == 4
+        assert heartbeat["executed_this_run"] == 1

@@ -88,3 +88,43 @@ class TestCampaignCommand:
         ResultStore(store_dir).merged_path.unlink()
         with pytest.raises(SystemExit, match="no merged result"):
             run_cli("report", str(store_dir))
+
+
+class TestBackendsAndProgress:
+    def test_progress_flag_reports_throughput_and_eta(self, tmp_path, capsys):
+        assert run_cli("campaign", "figure5", "--axis", "client_id=1,2",
+                       "--param", "num_packets=1", "--progress",
+                       "--out", str(tmp_path / "campaign")) == 0
+        err = capsys.readouterr().err
+        assert "[2/2]" in err
+        assert "shard/s" in err
+        assert "ETA" in err
+        heartbeat = ResultStore(tmp_path / "campaign").load_progress()
+        assert heartbeat["done"] is True
+
+    def test_file_queue_backend_matches_pool_through_the_cli(self, tmp_path):
+        common = ("figure5", "--axis", "client_id=1,2",
+                  "--param", "num_packets=1", "--quiet")
+        assert run_cli("campaign", *common, "--workers", "2",
+                       "--out", str(tmp_path / "pool")) == 0
+        assert run_cli("campaign", *common, "--backend", "file-queue",
+                       "--workers", "1", "--lease-timeout", "60",
+                       "--out", str(tmp_path / "fq")) == 0
+        assert ((tmp_path / "pool" / "merged.json").read_bytes()
+                == (tmp_path / "fq" / "merged.json").read_bytes())
+
+    def test_worker_subcommand_drains_a_prebuilt_queue(self, tmp_path):
+        from repro.campaign import get_adapter
+        from repro.campaign.backends import FileQueue
+
+        spec = get_adapter("figure5").default_spec(client_ids=(1, 2),
+                                                   num_packets=1)
+        store = ResultStore(tmp_path / "campaign")
+        store.save_spec(spec)
+        FileQueue(store.root).build(spec.compile())
+        assert run_cli("worker", "--queue", str(store.root),
+                       "--exit-when-empty", "--quiet", "--poll", "0.05") == 0
+        assert store.completed_indices() == (0, 1)
+        # Resuming merges the worker-written records without re-executing.
+        assert run_cli("resume", str(store.root), "--quiet") == 0
+        assert store.merged_path.exists()

@@ -1,0 +1,111 @@
+"""Adapter conformance: every registered campaign adapter, automatically.
+
+The suite discovers adapters through the ``CAMPAIGNS`` registry, so a newly
+registered experiment is covered without writing new tests — it only needs a
+tiny-grid entry in ``TINY`` below (and the suite fails loudly until it gets
+one).  For each adapter it checks the contract the engine relies on:
+
+* ``axis_names`` is declared and covers the default spec's axes;
+* the default spec compiles to its canonical shard list and round-trips
+  through JSON losslessly (shards included);
+* a small campaign matches the experiment's serial runner bit-for-bit —
+  the serial-slice skip arithmetic every shard runner implements.
+"""
+
+import pytest
+
+from repro.campaign import CAMPAIGNS, CampaignSpec, ShardSpec, get_adapter, run_campaign
+from repro.campaign.cli import serial_runners
+
+#: Tiny-grid kwargs per adapter: ``campaign`` feeds ``default_spec`` and
+#: ``serial`` feeds the experiment's serial runner; both must describe the
+#: same (small) experiment.  Every adapter in ``CAMPAIGNS`` must have an
+#: entry — ``test_has_tiny_grid_entry`` enforces it for future adapters.
+TINY = {
+    "figure5": dict(campaign=dict(client_ids=(1, 2), num_packets=2),
+                    serial=dict(client_ids=(1, 2), num_packets=2)),
+    "figure6": dict(campaign=dict(client_ids=(2, 5),
+                                  time_offsets_s=(0.0, 1.0, 10.0)),
+                    serial=dict(client_ids=(2, 5),
+                                time_offsets_s=(0.0, 1.0, 10.0))),
+    "figure7": dict(campaign=dict(antenna_counts=(2, 4, 8), num_packets=2),
+                    serial=dict(antenna_counts=(2, 4, 8), num_packets=2)),
+    "roc": dict(campaign=dict(num_training_packets=2, num_probe_packets=2,
+                              attacker_client_ids=(3, 9)),
+                serial=dict(num_training_packets=2, num_probe_packets=2,
+                            attacker_client_ids=(3, 9))),
+    "spoofing_eval": dict(campaign=dict(num_training_packets=2,
+                                        num_test_packets=3),
+                          serial=dict(num_training_packets=2,
+                                      num_test_packets=3)),
+    "calibration_ablation": dict(campaign=dict(client_ids=(1, 3),
+                                               packets_per_client=2),
+                                 serial=dict(client_ids=(1, 3),
+                                             packets_per_client=2)),
+    "estimator_comparison": dict(campaign=dict(client_ids=(13, 14),
+                                               packets_per_client=2),
+                                 serial=dict(client_ids=(13, 14),
+                                             packets_per_client=2)),
+    "snr_sweep": dict(campaign=dict(tx_powers_dbm=(-45.0, 15.0),
+                                    client_ids=(1, 5), packets_per_point=2),
+                      serial=dict(tx_powers_dbm=(-45.0, 15.0),
+                                  client_ids=(1, 5), packets_per_point=2)),
+    "packets_per_signature": dict(campaign=dict(training_sizes=(1, 2),
+                                                num_probe_packets=2),
+                                  serial=dict(training_sizes=(1, 2),
+                                              num_probe_packets=2)),
+    "fence_eval": dict(campaign=dict(client_ids=(1, 2),
+                                     outdoor_labels=("street-east",),
+                                     packets_per_transmitter=1),
+                       serial=dict(client_ids=(1, 2),
+                                   outdoor_labels=("street-east",),
+                                   packets_per_transmitter=1)),
+    "mobility": dict(campaign=dict(num_samples=3),
+                     serial=dict(num_samples=3)),
+    "beamforming": dict(campaign=dict(client_ids=(1, 2)),
+                        serial=dict(client_ids=(1, 2))),
+}
+
+ADAPTER_NAMES = CAMPAIGNS.names()
+
+
+def tiny_spec(name: str) -> CampaignSpec:
+    return get_adapter(name).default_spec(**TINY[name]["campaign"])
+
+
+@pytest.mark.parametrize("name", ADAPTER_NAMES)
+class TestAdapterConformance:
+    def test_has_tiny_grid_entry(self, name):
+        assert name in TINY, (
+            f"campaign adapter {name!r} has no tiny-grid entry in TINY; add "
+            "one so the conformance suite covers it")
+
+    def test_declares_axes_covering_the_default_spec(self, name):
+        adapter = get_adapter(name)
+        assert adapter.axis_names, f"{name} declares no axis names"
+        spec = tiny_spec(name)
+        assert spec.experiment == name
+        assert set(spec.axes) <= set(adapter.axis_names)
+        # The declaration is enforced: an unknown axis must be rejected.
+        bogus = spec.with_overrides(axes={"bogus-axis": (1,)})
+        with pytest.raises(ValueError, match="does not shard over"):
+            run_campaign(bogus, workers=1)
+
+    def test_spec_compiles_canonically_and_round_trips(self, name):
+        spec = tiny_spec(name)
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+        shards = spec.compile()
+        assert len(shards) == spec.num_shards
+        assert [shard.index for shard in shards] == list(range(len(shards)))
+        for shard in shards:
+            assert ShardSpec.from_json(shard.to_json()) == shard
+        # Compilation is deterministic: a recompiled plan is identical.
+        assert spec.compile() == shards
+
+    def test_matches_serial_runner_bit_for_bit(self, name):
+        # Guards the per-experiment capture-prefix accounting (and any
+        # stateful replay inside shards) against drift in the serial loops.
+        runner = serial_runners()[name]
+        run = run_campaign(tiny_spec(name), workers=1)
+        serial = runner(**TINY[name]["serial"])
+        assert run.result.to_json() == serial.to_json(), name
