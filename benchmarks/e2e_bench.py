@@ -34,7 +34,8 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from typing import Dict, List
+from dataclasses import replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.arrays.steering import steering_vector
 from repro.channel.channel import fractional_delay, phase_random_walk
 from repro.channel.raytracer import RayTracer
 from repro.hardware.capture import Capture
+from repro.kernels import get_backend
 from repro.phy.ofdm import OfdmConfig, OfdmModulator, _qpsk_map
 from repro.phy.preamble import _LTF_SEQUENCE, _STF_SEQUENCE, _sequence_to_spectrum
 from repro.utils.decibels import dbm_to_watts
@@ -206,9 +208,31 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def measure(num_packets: int = 64, repeats: int = 4) -> Dict:
+def build_info() -> Dict:
+    """NumPy version and BLAS build details, for artifact provenance."""
+    info: Dict = {"numpy": np.__version__}
+    try:
+        build = np.show_config(mode="dicts")
+    except TypeError:  # pragma: no cover - numpy < 1.25 without mode=
+        return info
+    blas = build.get("Build Dependencies", {}).get("blas", {})
+    info["blas"] = {key: blas[key] for key in ("name", "version")
+                    if key in blas}
+    return info
+
+
+def measure(num_packets: int = 64, repeats: int = 4,
+            backend: Optional[str] = None,
+            precision: str = "float64") -> Dict:
     """Time the three end-to-end paths and verify their outputs."""
     spec = ScenarioSpec(name="bench-e2e", seed=SEED)
+    if backend is not None or precision != "float64":
+        spec = replace(
+            spec,
+            simulator=replace(spec.simulator, backend=backend,
+                              precision=precision),
+            estimator=replace(spec.estimator, backend=backend,
+                              precision=precision))
 
     streaming_dep = Deployment(spec)
     batched_dep = Deployment(spec)
@@ -258,6 +282,9 @@ def measure(num_packets: int = 64, repeats: int = 4) -> Dict:
         "benchmark": BENCH_NAME,
         "packets": num_packets,
         "seed": SEED,
+        "backend": get_backend(backend).name,
+        "precision": precision,
+        "build": build_info(),
         "legacy_scalar_ms": round(legacy_s * 1e3, 2),
         "streaming_ms": round(streaming_s * 1e3, 2),
         "batched_ms": round(batched_s * 1e3, 2),
@@ -295,6 +322,7 @@ def check_regression(result: Dict, baseline: Dict,
 def format_report(result: Dict) -> str:
     return "\n".join([
         f"packets:                 {result['packets']}",
+        f"backend / precision:     {result['backend']} / {result['precision']}",
         f"legacy scalar path:      {result['legacy_scalar_ms']:8.1f} ms "
         f"({result['packets_per_sec']['legacy_scalar']:7.0f} pkt/s)",
         f"streaming path (run):    {result['streaming_ms']:8.1f} ms "
@@ -311,6 +339,11 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--packets", type=int, default=64)
     parser.add_argument("--repeats", type=int, default=4)
+    parser.add_argument("--backend", type=str, default=None,
+                        help="compute backend (numpy, torch, cupy); "
+                             "default resolves REPRO_BACKEND, then numpy")
+    parser.add_argument("--precision", type=str, default="float64",
+                        choices=("float64", "float32"))
     parser.add_argument("--out", type=str, default=None,
                         help="write the result JSON here")
     parser.add_argument("--check", type=str, default=None,
@@ -319,7 +352,8 @@ def main() -> int:
                         help="allowed fractional speedup regression vs baseline")
     args = parser.parse_args()
 
-    result = measure(num_packets=args.packets, repeats=args.repeats)
+    result = measure(num_packets=args.packets, repeats=args.repeats,
+                     backend=args.backend, precision=args.precision)
     print(format_report(result))
 
     if args.out:

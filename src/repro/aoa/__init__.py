@@ -17,6 +17,7 @@ from repro.aoa.esprit import esprit_bearings
 from repro.aoa.phase_interferometry import two_antenna_bearing
 from repro.aoa.estimator import AoAEstimator, AoAEstimate, EstimatorConfig
 from repro.aoa.batch import BatchAoAEstimator
+from repro.aoa.subspace import SubspaceTracker
 from repro.aoa.peaks import find_peaks_batch
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "AoAEstimate",
     "EstimatorConfig",
     "BatchAoAEstimator",
+    "SubspaceTracker",
 ]

@@ -36,11 +36,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-try:
-    from scipy.linalg.blas import zherk as _zherk
-except ImportError:  # pragma: no cover - scipy is a hard dependency
-    _zherk = None
-
 from repro.aoa.estimator import AoAEstimate, EstimatorConfig
 from repro.aoa.peaks import find_peaks_batch
 from repro.aoa.source_count import estimate_num_sources
@@ -52,6 +47,7 @@ from repro.aoa.spectrum import (
 from repro.arrays.geometry import AntennaArray, UniformLinearArray
 from repro.calibration.table import CalibrationTable
 from repro.hardware.capture import Capture
+from repro.kernels.backend import complex_dtype, get_backend
 from repro.phy.schmidl_cox import SchmidlCoxDetector
 
 
@@ -71,6 +67,12 @@ class BatchAoAEstimator:
         #: Scan arrays for spatially smoothed (shrunken) correlation matrices,
         #: keyed by subarray size, so their steering caches persist.
         self._scan_arrays: Dict[int, AntennaArray] = {}
+        self._backend = get_backend(self.config.backend)
+        self._cdtype = complex_dtype(self.config.precision)
+        #: Reduced-precision casts of the (cached, complex128) steering
+        #: matrices, keyed by matrix size, so float32 runs cast once.
+        self._steering_casts: Dict[int, np.ndarray] = {}
+        self._tracker = None  # lazy SubspaceTracker (subspace_tracking only)
 
     # ------------------------------------------------------------------ public
     def process(self, capture: Capture,
@@ -105,7 +107,8 @@ class BatchAoAEstimator:
             # Smoothing mixes different chain subsets per subarray, which does
             # not commute with a matrix-level correction: calibrate samples.
             samples_list = [
-                samples if correction is None else samples * correction[:, None]
+                samples if correction is None
+                else samples * correction.astype(samples.dtype, copy=False)[:, None]
                 for samples, correction in zip(samples_list, corrections)
             ]
             corrections = [None] * len(captures)
@@ -143,7 +146,10 @@ class BatchAoAEstimator:
             raise ValueError(
                 f"capture has {capture.num_antennas} antennas but the array has "
                 f"{self.array.num_elements} elements")
-        return capture.samples, correction
+        samples = capture.samples
+        if samples.dtype != self._cdtype:
+            samples = samples.astype(self._cdtype)
+        return samples, correction
 
     def _extract_packet(self, capture: Capture,
                         samples: np.ndarray) -> Tuple[np.ndarray, Optional[int]]:
@@ -162,19 +168,25 @@ class BatchAoAEstimator:
                        corrections: List[Optional[np.ndarray]],
                        packet_starts: List[Optional[int]]) -> List[AoAEstimate]:
         config = self.config
+        if config.subspace_tracking:
+            return self._process_tracked(samples_list, corrections, packet_starts)
         num_samples = [samples.shape[1] for samples in samples_list]
         matrices = self._conditioned_correlation_stack(samples_list, corrections)
         batch_size, n = matrices.shape[0], matrices.shape[1]
 
         # One stacked eigendecomposition serves both source counting and the
         # MUSIC subspace split (eigenvalues ascending, per LAPACK convention).
-        eigenvalues, eigenvectors = np.linalg.eigh(matrices)
+        eigenvalues, eigenvectors = self._backend.eigh(matrices)
         counts = self._source_counts(eigenvalues, num_samples, n)
 
         scan_array = self._scan_array(n)
         grid = scan_array.angle_grid(config.resolution_deg)
-        steering = scan_array.steering_matrix(resolution_deg=config.resolution_deg)
+        steering = self._cast_steering(
+            scan_array.steering_matrix(resolution_deg=config.resolution_deg), n)
         values, metadata = self._spectra(matrices, eigenvectors, counts, steering, n)
+        # Peak extraction and Pseudospectrum stay float64 regardless of the
+        # estimation precision.
+        values = values.astype(np.float64, copy=False)
 
         # Vectorised peak extraction over the whole (B, A) stack, mirroring
         # Pseudospectrum.peak_bearings' defaults.
@@ -207,7 +219,7 @@ class BatchAoAEstimator:
                 raise ValueError("spatial smoothing requires a uniform linear array")
             matrices = self._smoothed_stack(samples_list, config.smoothing_subarray)
         else:
-            matrices = self._correlation_stack(samples_list)
+            matrices = self._backend.correlation_stack(samples_list)
             matrices = self._calibrate_matrices(matrices, corrections)
         if config.forward_backward and isinstance(self.array, UniformLinearArray):
             # J R* J flips a matrix along both axes; batched over the stack.
@@ -221,34 +233,8 @@ class BatchAoAEstimator:
         """Batched :func:`repro.aoa.covariance.diagonal_loading` over a stack."""
         n = matrices.shape[1]
         power = np.einsum("bii->b", matrices).real / n
-        load = loading_factor * np.maximum(power, np.finfo(float).tiny)
-        return matrices + load[:, None, None] * np.eye(n)
-
-    @staticmethod
-    def _correlation_stack(samples_list: List[np.ndarray]) -> np.ndarray:
-        """Per-item ``X X^H / T`` into one (B, N, N) stack.
-
-        An explicit loop of per-item BLAS calls on views beats stacking the
-        raw samples first: it avoids two (B, N, T)-sized copies (stack +
-        conj).  ``zherk`` computes the Hermitian product writing one triangle
-        only (half the gemm flops, no materialised conjugate); ``trans=2``
-        feeds the C-ordered samples as their Fortran-ordered transpose view,
-        yielding ``(X^T)^H X^T = (X X^H)^T = conj(X X^H)`` — undone by the
-        batched conjugate-fill of both triangles afterwards.
-        """
-        n = samples_list[0].shape[0]
-        matrices = np.empty((len(samples_list), n, n), dtype=complex)
-        if _zherk is not None:
-            for index, samples in enumerate(samples_list):
-                matrices[index] = _zherk(1.0, samples.T, trans=2, lower=0)
-            upper = np.triu(matrices)
-            matrices = upper.conj() + np.triu(matrices, 1).transpose(0, 2, 1)
-        else:
-            for index, samples in enumerate(samples_list):
-                np.matmul(samples, samples.conj().T, out=matrices[index])
-        lengths = np.array([samples.shape[1] for samples in samples_list], dtype=float)
-        matrices /= lengths[:, None, None]
-        return matrices
+        load = loading_factor * np.maximum(power, np.finfo(power.dtype).tiny)
+        return matrices + load[:, None, None] * np.eye(n, dtype=power.dtype)
 
     @staticmethod
     def _calibrate_matrices(matrices: np.ndarray,
@@ -257,7 +243,7 @@ class BatchAoAEstimator:
         if all(correction is None for correction in corrections):
             return matrices
         n = matrices.shape[1]
-        factors = np.ones((len(corrections), n), dtype=complex)
+        factors = np.ones((len(corrections), n), dtype=matrices.dtype)
         for index, correction in enumerate(corrections):
             if correction is not None:
                 factors[index] = correction
@@ -269,7 +255,8 @@ class BatchAoAEstimator:
             raise ValueError(
                 f"subarray_size {subarray_size} exceeds the number of antennas {num_antennas}")
         num_subarrays = num_antennas - subarray_size + 1
-        matrices = np.zeros((len(samples_list), subarray_size, subarray_size), dtype=complex)
+        matrices = np.zeros((len(samples_list), subarray_size, subarray_size),
+                            dtype=self._cdtype)
         for index, samples in enumerate(samples_list):
             for start in range(num_subarrays):
                 block = samples[start:start + subarray_size]
@@ -319,19 +306,18 @@ class BatchAoAEstimator:
             # Capon applies its own, heavier diagonal loading before inversion
             # (matching the scalar capon_pseudospectrum default).
             loaded = self._diagonal_loading(matrices, 1e-3)
-            inverses = np.linalg.inv(loaded)
-            denominator = np.sum((steering.conj() * (inverses @ steering)).real, axis=1)
+            inverses = self._backend.inv(loaded)
+            denominator = self._backend.beamscan_numerator(inverses, steering)
             values = 1.0 / np.maximum(denominator, 1e-15)
             metadata = [{"estimator": "capon"} for _ in range(batch_size)]
             return values, metadata
-        numerator = np.sum((steering.conj() * (matrices @ steering)).real, axis=1)
+        numerator = self._backend.beamscan_numerator(matrices, steering)
         normaliser = np.sum(np.abs(steering) ** 2, axis=0)
         values = np.maximum(numerator / np.maximum(normaliser, 1e-15), 0.0)
         metadata = [{"estimator": "bartlett"} for _ in range(batch_size)]
         return values, metadata
 
-    @staticmethod
-    def _music_values(eigenvectors: np.ndarray, counts: List[int],
+    def _music_values(self, eigenvectors: np.ndarray, counts: List[int],
                       steering: np.ndarray, n: int) -> np.ndarray:
         """Batched MUSIC via the signal-subspace complement.
 
@@ -343,16 +329,49 @@ class BatchAoAEstimator:
         """
         counts = np.asarray(counts, dtype=int)
         total = np.sum(np.abs(steering) ** 2, axis=0)  # ||a(theta)||^2, shape (A,)
-        denominator = np.empty((counts.size, steering.shape[1]))
+        denominator = np.empty((counts.size, steering.shape[1]),
+                               dtype=total.dtype)
         for order in np.unique(counts):
             items = np.nonzero(counts == order)[0]
             # Ascending eigenvalue order: the signal subspace is the trailing
             # `order` eigenvectors.
             signal = eigenvectors[items, :, n - order:]
-            projections = signal.conj().transpose(0, 2, 1) @ steering
-            denominator[items] = total[None, :] - np.sum(
-                np.abs(projections) ** 2, axis=1)
+            denominator[items] = total[None, :] - self._backend.music_projection_power(
+                signal, steering)
         return 1.0 / np.maximum(denominator, 1e-15)
+
+    def _cast_steering(self, steering: np.ndarray, n: int) -> np.ndarray:
+        """The steering matrix in estimation precision (cast once, cached)."""
+        if steering.dtype == self._cdtype:
+            return steering
+        cached = self._steering_casts.get(n)
+        if cached is None or cached.shape != steering.shape:
+            cached = steering.astype(self._cdtype)
+            self._steering_casts[n] = cached
+        return cached
+
+    # ---------------------------------------------------------- streaming path
+    def _process_tracked(self, samples_list: List[np.ndarray],
+                         corrections: List[Optional[np.ndarray]],
+                         packet_starts: List[Optional[int]]) -> List[AoAEstimate]:
+        """Sequential streaming path: one tracker update per capture.
+
+        Captures are folded into the tracker's running correlation in order
+        (streaming semantics), so unlike the stacked path the results depend
+        on everything processed since the tracker was created.
+        """
+        from dataclasses import replace
+
+        # Imported here to break the batch <-> subspace module cycle.
+        from repro.aoa.subspace import SubspaceTracker
+
+        if self._tracker is None:
+            self._tracker = SubspaceTracker(self.array, self.config)
+        estimates = []
+        for samples, correction, start in zip(samples_list, corrections, packet_starts):
+            estimate = self._tracker.update(samples, correction)
+            estimates.append(replace(estimate, packet_start=start))
+        return estimates
 
     # ------------------------------------------------------------ scan arrays
     def _scan_array(self, matrix_size: int) -> AntennaArray:

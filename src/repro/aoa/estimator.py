@@ -25,6 +25,7 @@ from repro.arrays.geometry import AntennaArray
 from repro.calibration.table import CalibrationTable
 from repro.hardware.capture import Capture
 from repro.aoa.spectrum import Pseudospectrum
+from repro.kernels.backend import validate_precision
 
 #: Grid-scanning estimators the pipeline can run end to end (they produce the
 #: pseudospectra SecureAngle signatures are built from).
@@ -33,6 +34,12 @@ SPECTRAL_METHODS = ("music", "bartlett", "capon")
 #: Search-free estimators that return bearings directly (no pseudospectrum);
 #: available through :data:`repro.api.AOA_METHODS` rather than this config.
 PARAMETRIC_METHODS = ("root_music", "esprit", "phase_interferometry")
+
+#: Streaming estimators built on incremental subspace tracking.  They produce
+#: MUSIC pseudospectra but are selected with the ``subspace_tracking`` flag
+#: (``method`` stays "music"); :data:`repro.api.AOA_METHODS` registers them
+#: under their own names for discoverability.
+STREAMING_METHODS = ("subspace",)
 
 
 @dataclass(frozen=True)
@@ -64,6 +71,18 @@ class EstimatorConfig:
     #: Refuse to process captures whose per-chain phase offsets have not been
     #: calibrated out.  The calibration ablation sets this to False.
     require_calibrated: bool = True
+    #: Compute backend for the estimation kernels ("numpy", "torch", "cupy");
+    #: ``None`` resolves the ``REPRO_BACKEND`` environment variable and
+    #: defaults to numpy (the bit-exact reference).
+    backend: Optional[str] = None
+    #: Estimation arithmetic precision: "float64" (bit-exact reference) or
+    #: "float32" (complex64 covariance/eigh/steering — faster, approximate).
+    precision: str = "float64"
+    #: Replace the per-packet eigendecomposition with an incremental
+    #: (PAST-style) subspace tracker on the streaming path.  MUSIC only; see
+    #: :class:`repro.aoa.subspace.SubspaceTracker` for the warm-up and
+    #: re-orthonormalisation policy.
+    subspace_tracking: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in SPECTRAL_METHODS:
@@ -87,6 +106,15 @@ class EstimatorConfig:
             raise ValueError("smoothing_subarray must be at least 2")
         if self.loading_factor < 0:
             raise ValueError("loading_factor must be non-negative")
+        validate_precision(self.precision)
+        if self.subspace_tracking:
+            if self.method != "music":
+                raise ValueError(
+                    "subspace_tracking replaces the MUSIC eigendecomposition "
+                    "and requires method='music'")
+            if self.smoothing_subarray is not None:
+                raise ValueError(
+                    "subspace_tracking does not support spatial smoothing")
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ from repro.aoa.estimator import (
     EstimatorConfig,
     PARAMETRIC_METHODS,
     SPECTRAL_METHODS,
+    STREAMING_METHODS,
 )
 from repro.aoa.phase_interferometry import two_antenna_bearing
 from repro.aoa.root_music import root_music_bearings
@@ -58,12 +59,14 @@ class AoAMethod:
 
     def __init__(self, name: str,
                  bearings: Callable[[np.ndarray, AntennaArray, Optional[int]], List[float]],
-                 spectral: bool, requires_linear: bool = False, description: str = ""):
+                 spectral: bool, requires_linear: bool = False, description: str = "",
+                 config_factory: Optional[Callable[..., EstimatorConfig]] = None):
         self.name = name
         self.spectral = spectral
         self.requires_linear = requires_linear
         self.description = description
         self._bearings = bearings
+        self._config_factory = config_factory
 
     def bearings(self, samples: np.ndarray, array: AntennaArray,
                  num_sources: Optional[int] = None) -> List[float]:
@@ -85,6 +88,8 @@ class AoAMethod:
                 f"AoA method {self.name!r} is search-free and cannot drive the "
                 "pseudospectrum pipeline; spectral methods: "
                 + ", ".join(SPECTRAL_METHODS))
+        if self._config_factory is not None:
+            return self._config_factory(**overrides)
         return EstimatorConfig(method=self.name, **overrides)
 
     def __repr__(self) -> str:
@@ -147,13 +152,33 @@ AOA_METHODS.register("phase_interferometry", AoAMethod(
     description="Equation 1: two-antenna phase difference (ULA only)"),
     aliases=("two_antenna",))
 
-if set(AOA_METHODS.names()) != set(SPECTRAL_METHODS) | set(PARAMETRIC_METHODS):
+
+def _subspace_config(**overrides) -> EstimatorConfig:
+    overrides.setdefault("subspace_tracking", True)
+    return EstimatorConfig(method="music", **overrides)
+
+
+def _subspace_bearings(samples: np.ndarray, array: AntennaArray,
+                       num_sources: Optional[int]) -> List[float]:
+    estimator = AoAEstimator(array, _subspace_config(num_sources=num_sources))
+    estimate = estimator.process_samples(samples)
+    return estimate.peak_bearings_deg or [estimate.bearing_deg]
+
+
+AOA_METHODS.register("subspace", AoAMethod(
+    "subspace", _subspace_bearings, spectral=True,
+    description="MUSIC with incremental (PAST-style) subspace tracking "
+                "(streaming; replaces the per-packet eigendecomposition)",
+    config_factory=_subspace_config), aliases=("past",))
+
+if set(AOA_METHODS.names()) != (set(SPECTRAL_METHODS) | set(PARAMETRIC_METHODS)
+                                | set(STREAMING_METHODS)):
     # Survives python -O (unlike assert): a method added to the registry but
     # not the estimator constants (or vice versa) must fail at import.
     raise RuntimeError(
         "AOA_METHODS registry and estimator method constants diverged: "
         f"{sorted(AOA_METHODS.names())} vs "
-        f"{sorted(set(SPECTRAL_METHODS) | set(PARAMETRIC_METHODS))}")
+        f"{sorted(set(SPECTRAL_METHODS) | set(PARAMETRIC_METHODS) | set(STREAMING_METHODS))}")
 
 
 # ------------------------------------------------------------- array geometries

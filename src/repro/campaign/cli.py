@@ -37,6 +37,9 @@ from repro.campaign.store import ResultStore, ShardRecord
 
 __all__ = ["main", "serial_runners"]
 
+#: Rows printed by ``run --profile``'s cumulative-time summary.
+PROFILE_TOP_N = 15
+
 
 def serial_runners() -> Dict[str, Callable[..., Any]]:
     """The serial experiment runners, by campaign-compatible name."""
@@ -226,7 +229,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = _parse_assignments(args.param or (), "--param")
     if args.seed is not None:
         kwargs["rng"] = int(args.seed)
-    result = runners[args.experiment](**kwargs)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = runners[args.experiment](**kwargs)
+        finally:
+            profiler.disable()
+        profile_path = Path(args.profile)
+        profiler.dump_stats(profile_path)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        _print(f"saved profile: {profile_path} "
+               f"(inspect with: python -m pstats {profile_path})")
+        _print(f"top {PROFILE_TOP_N} functions by cumulative time:")
+        rows = sorted(stats.stats.items(), key=lambda item: item[1][3],
+                      reverse=True)
+        for (filename, lineno, function), row in rows[:PROFILE_TOP_N]:
+            calls, _, _, cumulative = row[:4]
+            _print(f"  {cumulative:9.4f}s  {calls:>8} calls  "
+                   f"{filename}:{lineno}({function})")
+    else:
+        result = runners[args.experiment](**kwargs)
     _print_result(result, f"--- {args.experiment} ---")
     if args.json:
         path = Path(args.json)
@@ -311,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment keyword override (JSON literal value)")
     run.add_argument("--json", metavar="PATH",
                      help="also save the result as JSON")
+    run.add_argument("--profile", metavar="PATH", default=None,
+                     help="profile the run with cProfile: dump stats to PATH "
+                          "and print the top functions by cumulative time")
     run.set_defaults(handler=_cmd_run)
 
     campaign = commands.add_parser(

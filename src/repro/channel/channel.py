@@ -28,26 +28,28 @@ effects break this coherence in the real system and are modelled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.arrays.geometry import AntennaArray
-from repro.arrays.steering import steering_vector
 from repro.channel.path import PropagationPath
 from repro.constants import (
     DEFAULT_CARRIER_FREQUENCY_HZ,
     DEFAULT_SAMPLE_RATE_HZ,
     wavelength,
 )
+from repro.kernels.backend import (
+    DELAY_EPSILON_SAMPLES as _DELAY_EPSILON_SAMPLES,
+    Backend,
+    complex_dtype,
+    delay_ramps as _delay_ramps,
+    get_backend,
+    real_dtype,
+)
 from repro.utils.decibels import dbm_to_watts
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_positive
-
-#: Delays smaller than this (in samples) skip the FFT delay filter entirely,
-#: so the undelayed reference path is returned untouched rather than put
-#: through a lossless-but-rounding FFT round trip.
-_DELAY_EPSILON_SAMPLES = 1e-12
 
 
 @dataclass(frozen=True)
@@ -91,15 +93,29 @@ class ArrayChannel:
         Channel model parameters.
     rng:
         Seed or generator for the stochastic parts of the model.
+    backend:
+        Compute backend for the synthesis kernels (see
+        :func:`repro.kernels.get_backend`); ``None`` resolves the
+        ``REPRO_BACKEND`` environment variable and defaults to numpy.
+    precision:
+        ``"float64"`` (the bit-exact reference) or ``"float32"`` (complex64
+        waveforms, float32 delay ramps and phase walks — faster, with a
+        documented rng-draw layout of its own).
     """
 
     def __init__(self, array: AntennaArray, orientation_deg: float = 0.0,
-                 config: Optional[ChannelConfig] = None, rng: RngLike = None):
+                 config: Optional[ChannelConfig] = None, rng: RngLike = None,
+                 backend: Union[None, str, Backend] = None,
+                 precision: str = "float64"):
         config = config if config is not None else ChannelConfig()
         self.array = array
         self.orientation_deg = float(orientation_deg)
         self.config = config
         self._rng = ensure_rng(rng)
+        self.precision = precision
+        self._backend = get_backend(backend)
+        self._cdtype = complex_dtype(precision)
+        self._rdtype = real_dtype(precision)
 
     # ------------------------------------------------------------------ public
     def propagate(self, waveform: np.ndarray, paths: Sequence[PropagationPath],
@@ -125,7 +141,7 @@ class ArrayChannel:
             Overrides the channel's generator for this packet (useful for
             per-packet reproducibility in experiments).
         """
-        waveform = np.asarray(waveform, dtype=complex)
+        waveform = np.asarray(waveform, dtype=self._cdtype)
         if waveform.ndim != 1:
             raise ValueError(f"waveform must be 1-D, got shape {waveform.shape}")
         if waveform.size == 0:
@@ -171,7 +187,7 @@ class ArrayChannel:
         rngs:
             Optional per-packet generators for the stochastic phase walks.
         """
-        waveform_matrix = np.asarray(waveforms, dtype=complex)
+        waveform_matrix = np.asarray(waveforms, dtype=self._cdtype)
         if waveform_matrix.ndim != 2:
             raise ValueError(
                 f"waveforms must stack into a (B, S) matrix, got shape {waveform_matrix.shape}")
@@ -213,9 +229,9 @@ class ArrayChannel:
         # static client repeats one path set for the whole burst, so the
         # geometry-only quantities (steering, dry coefficients, delays) are
         # computed once per distinct path set and reused.
-        steering = np.zeros((batch_size, max_paths, num_antennas), dtype=complex)
-        coefficients = np.zeros((batch_size, max_paths), dtype=complex)
-        delays = np.zeros((batch_size, max_paths), dtype=float)
+        steering = np.zeros((batch_size, max_paths, num_antennas), dtype=self._cdtype)
+        coefficients = np.zeros((batch_size, max_paths), dtype=self._cdtype)
+        delays = np.zeros((batch_size, max_paths), dtype=self._rdtype)
         geometry_memo: dict = {}
         for index, paths in enumerate(paths_batch):
             count = len(paths)
@@ -248,13 +264,14 @@ class ArrayChannel:
                 delays[index, :count] = relative_delays
 
         if self.config.apply_path_delays:
-            modulated = fractional_delay_batch(waveform_matrix[:, None, :], delays)
+            modulated = fractional_delay_batch(waveform_matrix[:, None, :], delays,
+                                               backend=self._backend)
         else:
             modulated = np.broadcast_to(
                 waveform_matrix[:, None, :],
                 (batch_size, max_paths, num_samples))
         if self.config.path_phase_walk_std_rad > 0:
-            walks = np.empty((batch_size, max_paths, num_samples), dtype=complex)
+            walks = np.empty((batch_size, max_paths, num_samples), dtype=self._cdtype)
             if any(len(paths) != max_paths for paths in paths_batch):
                 # Padded rows multiply zero-coefficient paths; any finite
                 # value works, and 1.0 keeps them inert.
@@ -262,14 +279,15 @@ class ArrayChannel:
             for index, paths in enumerate(paths_batch):
                 walks[index, :len(paths)] = phase_random_walk_batch(
                     len(paths), num_samples, self.config.path_phase_walk_std_rad,
-                    generators[index])
+                    generators[index], dtype=self._rdtype, backend=self._backend)
             modulated = modulated * walks
         # Coefficients folded into the steering stack; one (B, N, P) @
-        # (B, P, S) contraction sums the per-path outer products.  np.matmul
-        # runs the identical GEMM per batch item, so this is bit-identical to
-        # the scalar path's per-packet matmul.
+        # (B, P, S) contraction sums the per-path outer products.  The
+        # backend's matmul runs the identical GEMM per batch item (np.matmul
+        # on the default backend), so this is bit-identical to the scalar
+        # path's per-packet matmul.
         weighted = steering * coefficients[:, :, None]
-        return np.matmul(weighted.transpose(0, 2, 1), modulated)
+        return self._backend.matmul(weighted.transpose(0, 2, 1), modulated)
 
     # ---------------------------------------------------------------- internals
     def _relative_delays(self, paths: Sequence[PropagationPath]) -> np.ndarray:
@@ -284,10 +302,9 @@ class ArrayChannel:
                         lambda_m: float) -> np.ndarray:
         """Per-path steering vectors hoisted into one (P, N) matrix."""
         positions = self.array.element_positions
-        return np.stack([
-            steering_vector(positions, path.aoa_deg - self.orientation_deg, lambda_m)
-            for path in paths
-        ])
+        angles = [path.aoa_deg - self.orientation_deg for path in paths]
+        stack = self._backend.steering_stack(positions, angles, lambda_m)
+        return stack.astype(self._cdtype, copy=False)
 
     def _path_coefficients(self, paths: Sequence[PropagationPath],
                            tx_power_dbm: float,
@@ -307,7 +324,7 @@ class ArrayChannel:
             coefficients[index] = amplitude * carrier_phase
         if path_fading is not None:
             coefficients = coefficients * np.asarray(path_fading, dtype=complex)
-        return coefficients
+        return coefficients.astype(self._cdtype, copy=False)
 
     def _propagate_one(self, waveform: np.ndarray,
                        paths: Sequence[PropagationPath], tx_power_dbm: float,
@@ -319,8 +336,9 @@ class ArrayChannel:
         coefficients = self._path_coefficients(paths, tx_power_dbm, path_fading,
                                                lambda_m)
         if self.config.apply_path_delays:
-            delays = self._relative_delays(paths)
-            modulated = fractional_delay_batch(waveform, delays)
+            delays = self._relative_delays(paths).astype(self._rdtype, copy=False)
+            modulated = fractional_delay_batch(waveform, delays,
+                                               backend=self._backend)
         else:
             modulated = np.broadcast_to(waveform, (len(paths), num_samples))
         if self.config.path_phase_walk_std_rad > 0:
@@ -328,15 +346,15 @@ class ArrayChannel:
             # in-place complex multiply, breaking batch/scalar bit-exactness.
             walks = phase_random_walk_batch(
                 len(paths), num_samples, self.config.path_phase_walk_std_rad,
-                generator)
+                generator, dtype=self._rdtype, backend=self._backend)
             modulated = modulated * walks
         # Fold the per-path coefficients into the steering matrix (P*N values)
         # instead of scaling the (P, S) waveforms, then contract with one
         # (N, P) @ (P, S) GEMM.  The batch path runs the same GEMM per packet
-        # (np.matmul over a stack), so scalar and batched propagation stay
-        # bit-identical.
+        # (the backend's matmul over a stack), so scalar and batched
+        # propagation stay bit-identical.
         weighted = steering * coefficients[:, None]
-        return np.matmul(weighted.T, modulated)
+        return self._backend.matmul(weighted.T, modulated)
 
     def expected_local_bearing(self, global_bearing_deg: float) -> float:
         """Map a global bearing to the bearing the array's estimator reports.
@@ -378,7 +396,8 @@ def fractional_delay(waveform: np.ndarray, delay_samples: float) -> np.ndarray:
 
 
 def fractional_delay_batch(waveforms: np.ndarray,
-                           delay_samples: np.ndarray) -> np.ndarray:
+                           delay_samples: np.ndarray,
+                           backend: Union[None, str, Backend] = None) -> np.ndarray:
     """Apply many fractional delays in one FFT round trip.
 
     ``waveforms`` is ``(..., S)`` and ``delay_samples`` broadcasts against its
@@ -394,62 +413,23 @@ def fractional_delay_batch(waveforms: np.ndarray,
     Each row is bit-identical to :func:`fractional_delay` on the same inputs:
     the FFT and inverse FFT process rows independently, the phase ramp is
     evaluated with the same operation order, and near-zero delays return the
-    waveform untouched instead of an FFT round trip.
+    waveform untouched instead of an FFT round trip.  complex64 waveforms and
+    float32 delays are honoured (the reduced-precision synthesis mode); all
+    other dtypes are promoted to complex128/float64 as before.
     """
-    waveforms = np.asarray(waveforms, dtype=complex)
+    waveforms = np.asarray(waveforms)
+    if waveforms.dtype != np.complex64:
+        waveforms = waveforms.astype(complex, copy=False)
     if waveforms.ndim == 0 or waveforms.shape[-1] == 0:
         raise ValueError("waveforms must have at least one sample")
-    delays = np.asarray(delay_samples, dtype=float)
+    delays = np.asarray(delay_samples)
+    if delays.dtype != np.float32:
+        delays = delays.astype(float, copy=False)
     n = waveforms.shape[-1]
     lead_shape = np.broadcast_shapes(waveforms.shape[:-1], delays.shape)
     out_shape = lead_shape + (n,)
     delays = np.broadcast_to(delays, lead_shape)
-    spectra = np.fft.fft(waveforms, axis=-1)
-    ramp = _delay_ramps(delays, n)
-    # The ramp is a named array, never an anonymous temporary: numpy would
-    # elide a >256 KB temporary into an in-place complex multiply, whose
-    # rounding differs in the last ulp from the out-of-place loop and would
-    # break bit-exactness between batch sizes.
-    shifted = np.broadcast_to(spectra, out_shape) * ramp
-    delayed = np.fft.ifft(shifted, axis=-1)
-    passthrough = np.abs(delays) < _DELAY_EPSILON_SAMPLES
-    if np.any(passthrough):
-        delayed[passthrough] = np.broadcast_to(waveforms, out_shape)[passthrough]
-    return delayed
-
-
-def _delay_ramps(delays: np.ndarray, n: int) -> np.ndarray:
-    """Linear-phase delay ramps ``exp(-2j*pi*f*d)`` for a stack of delays.
-
-    A burst from a static client repeats the same per-path delays for every
-    packet, so the ramps are computed once per *unique* trailing row and
-    gathered back — the transcendentals are the expensive part.  The phase is
-    evaluated with the same operand grouping as :func:`fractional_delay`
-    (``(-2*pi*f) * d``), and ``cos + 1j*sin`` of a real phase is bit-identical
-    to ``exp`` of the equivalent purely imaginary argument, so every row
-    matches the scalar helper exactly.
-    """
-    frequencies = np.fft.fftfreq(n)
-    base = -2.0 * np.pi * frequencies
-    if delays.ndim <= 1:
-        unique = delays.reshape(1, -1) if delays.ndim else delays.reshape(1, 1)
-        phases = base * unique[..., None]
-        ramps = np.empty(phases.shape, dtype=complex)
-        ramps.real = np.cos(phases)
-        ramps.imag = np.sin(phases)
-        return ramps.reshape(delays.shape + (n,))
-    rows = delays.reshape(-1, delays.shape[-1])
-    unique, inverse = np.unique(rows, axis=0, return_inverse=True)
-    phases = base * unique[..., None]
-    ramps = np.empty(phases.shape, dtype=complex)
-    ramps.real = np.cos(phases)
-    ramps.imag = np.sin(phases)
-    if unique.shape[0] == 1:
-        # Static-client bursts repeat one delay row; broadcast a read-only
-        # view instead of materialising B copies.
-        return np.broadcast_to(ramps[0], delays.shape + (n,))
-    gathered = ramps[inverse.reshape(-1)]
-    return gathered.reshape(delays.shape + (n,))
+    return get_backend(backend).fractional_delay(waveforms, delays, out_shape)
 
 
 def phase_random_walk(num_samples: int, step_std_rad: float,
@@ -474,7 +454,9 @@ def phase_random_walk(num_samples: int, step_std_rad: float,
 
 def phase_random_walk_batch(num_walks: int, num_samples: int,
                             step_std_rad: float,
-                            rng: RngLike = None) -> np.ndarray:
+                            rng: RngLike = None,
+                            dtype: np.dtype = float,
+                            backend: Union[None, str, Backend] = None) -> np.ndarray:
     """Stack of ``num_walks`` independent random-walk phase processes.
 
     Returns a ``(num_walks, num_samples)`` complex matrix.  The random draws
@@ -482,7 +464,13 @@ def phase_random_walk_batch(num_walks: int, num_samples: int,
     :func:`phase_random_walk` on the same generator (one uniform initial
     phase, then the step sequence), so the result is bit-identical to the
     scalar loop — but the cumulative sum and complex exponential, the actual
-    compute, run once over the whole stack.
+    compute, run once over the whole stack (through the compute backend).
+
+    ``dtype=np.float32`` is the reduced-precision mode: initial phases and
+    steps are drawn as native float32 variates (roughly twice as fast), which
+    intentionally uses a *different* rng stream layout than the float64
+    reference — float32 synthesis trades bit-reproducibility against the
+    float64 pipeline for speed.
     """
     if num_walks <= 0:
         raise ValueError("num_walks must be positive")
@@ -494,16 +482,18 @@ def phase_random_walk_batch(num_walks: int, num_samples: int,
     # Draw order (per walk: initial phase, then steps) matches repeated calls
     # to phase_random_walk on the same generator; the Figure 6 stability
     # reproduction is pinned to this stream layout, so it must not change.
-    initials = np.empty(num_walks)
-    steps = np.empty((num_walks, num_samples))
-    for walk in range(num_walks):
-        initials[walk] = generator.uniform(0.0, 2.0 * np.pi)
-        steps[walk] = generator.normal(0.0, step_std_rad, size=num_samples)
+    if np.dtype(dtype) == np.float32:
+        initials = np.empty(num_walks, dtype=np.float32)
+        steps = np.empty((num_walks, num_samples), dtype=np.float32)
+        for walk in range(num_walks):
+            initials[walk] = generator.random(dtype=np.float32) * (2.0 * np.pi)
+            steps[walk] = generator.standard_normal(
+                num_samples, dtype=np.float32) * step_std_rad
+    else:
+        initials = np.empty(num_walks)
+        steps = np.empty((num_walks, num_samples))
+        for walk in range(num_walks):
+            initials[walk] = generator.uniform(0.0, 2.0 * np.pi)
+            steps[walk] = generator.normal(0.0, step_std_rad, size=num_samples)
     steps[:, 0] = 0.0
-    phases = initials[:, None] + np.cumsum(steps, axis=1)
-    # cos + 1j*sin of the real phase is bit-identical to exp(1j*phase) and
-    # roughly twice as fast (no complex-exp scalar loop).
-    walks = np.empty(phases.shape, dtype=complex)
-    walks.real = np.cos(phases)
-    walks.imag = np.sin(phases)
-    return walks
+    return get_backend(backend).phase_walk(initials, steps)

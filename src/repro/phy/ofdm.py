@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.constants import OFDM_CYCLIC_PREFIX, OFDM_FFT_SIZE
+from repro.kernels.backend import get_backend
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
@@ -60,10 +61,16 @@ class OfdmConfig:
 
 
 class OfdmModulator:
-    """Modulate frequency-domain subcarrier values into time-domain symbols."""
+    """Modulate frequency-domain subcarrier values into time-domain symbols.
 
-    def __init__(self, config: OfdmConfig = OfdmConfig()):
+    ``backend`` selects the compute backend for the stacked payload IFFT
+    (see :func:`repro.kernels.get_backend`); the default numpy backend is
+    bit-identical to calling ``np.fft.ifft`` directly.
+    """
+
+    def __init__(self, config: OfdmConfig = OfdmConfig(), backend=None):
         self.config = config
+        self._backend = get_backend(backend)
 
     def modulate_symbol(self, subcarrier_values: np.ndarray,
                         include_cyclic_prefix: bool = True) -> np.ndarray:
@@ -131,7 +138,7 @@ class OfdmModulator:
         spectra = np.zeros((total_symbols, self.config.fft_size), dtype=complex)
         spectra[:, bins] = qpsk
         scale = np.sqrt(self.config.fft_size / max(len(occupied), 1))
-        symbols = np.fft.ifft(spectra, axis=-1) * scale
+        symbols = self._backend.ifft(spectra) * scale
         if self.config.cyclic_prefix > 0:
             symbols = np.concatenate(
                 [symbols[:, -self.config.cyclic_prefix:], symbols], axis=1)

@@ -32,6 +32,7 @@ from repro.calibration.procedure import calibrate_receiver
 from repro.calibration.table import CalibrationTable
 from repro.mac.frames import Dot11Frame
 from repro.phy.packet import PhyPacket, make_packet_waveform, make_packet_waveforms
+from repro.kernels.backend import validate_precision
 from repro.testbed.environment import TestbedEnvironment
 from repro.utils.rng import RngLike, ensure_rng, skip_spawns, spawn_rng
 
@@ -68,6 +69,13 @@ class SimulatorConfig:
     #: packet, which is a distinct cache key by design.  Bounded by
     #: ``path_cache_size`` entries (FIFO eviction).
     reuse_waveforms: bool = False
+    #: Compute backend for the synthesis kernels ("numpy", "torch", "cupy");
+    #: ``None`` resolves the ``REPRO_BACKEND`` environment variable and
+    #: defaults to numpy (the bit-exact reference).
+    backend: Optional[str] = None
+    #: Synthesis arithmetic precision: "float64" (bit-exact reference) or
+    #: "float32" (complex64 waveforms/captures — faster, its own rng layout).
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.max_reflections < 0:
@@ -76,6 +84,7 @@ class SimulatorConfig:
             raise ValueError("payload_symbols must be at least 1")
         if self.path_cache_size < 1:
             raise ValueError("path_cache_size must be at least 1")
+        validate_precision(self.precision)
 
 
 @dataclass(frozen=True)
@@ -110,9 +119,12 @@ class TestbedSimulator:
             max_reflections=config.max_reflections,
         )
         self.channel = ArrayChannel(array, orientation_deg=orientation_deg,
-                                    config=config.channel, rng=spawn_rng(self._rng, 11))
+                                    config=config.channel, rng=spawn_rng(self._rng, 11),
+                                    backend=config.backend,
+                                    precision=config.precision)
         self.receiver = ArrayReceiver(array, config=config.receiver,
-                                      rng=spawn_rng(self._rng, 12))
+                                      rng=spawn_rng(self._rng, 12),
+                                      precision=config.precision)
         self.dynamics = EnvironmentDynamics(config.dynamics, rng=spawn_rng(self._rng, 13))
         self.calibration_source = CalibrationSource(num_outputs=array.num_elements)
         self._calibration: Optional[CalibrationTable] = None
@@ -236,7 +248,7 @@ class TestbedSimulator:
                 packet.waveform for packet in make_packet_waveforms(
                     [request.frame for request in requests],
                     num_payload_symbols=self.config.payload_symbols,
-                    rngs=waveform_rngs)
+                    rngs=waveform_rngs, backend=self.config.backend)
             ]
 
         # Packets of one batch normally share a waveform length; oversized
@@ -406,12 +418,14 @@ class TestbedSimulator:
         """
         if not self.config.reuse_waveforms:
             return make_packet_waveform(
-                frame, num_payload_symbols=self.config.payload_symbols, rng=rng)
+                frame, num_payload_symbols=self.config.payload_symbols, rng=rng,
+                backend=self.config.backend)
         key = (frame, self.config.payload_symbols)
         packet = self._waveform_cache.get(key)
         if packet is None:
             packet = make_packet_waveform(
-                frame, num_payload_symbols=self.config.payload_symbols, rng=rng)
+                frame, num_payload_symbols=self.config.payload_symbols, rng=rng,
+                backend=self.config.backend)
             self._waveform_cache[key] = packet
             while len(self._waveform_cache) > self.config.path_cache_size:
                 self._waveform_cache.popitem(last=False)

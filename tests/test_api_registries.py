@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.aoa.estimator import EstimatorConfig, PARAMETRIC_METHODS, SPECTRAL_METHODS
+from repro.aoa.estimator import (
+    EstimatorConfig,
+    PARAMETRIC_METHODS,
+    SPECTRAL_METHODS,
+    STREAMING_METHODS,
+)
 from repro.api import (
     AOA_METHODS,
     ARRAY_GEOMETRIES,
@@ -74,15 +79,22 @@ class TestRegistryCore:
 
 class TestAoAMethods:
     def test_every_method_name_resolves(self):
-        for name in SPECTRAL_METHODS + PARAMETRIC_METHODS:
+        for name in SPECTRAL_METHODS + PARAMETRIC_METHODS + STREAMING_METHODS:
             method = AOA_METHODS.get(name)
             assert method.name == name
             assert callable(method.bearings)
 
     def test_spectral_flags_match_estimator_config(self):
         for name, method in AOA_METHODS.items():
-            assert method.spectral == (name in SPECTRAL_METHODS)
-            if method.spectral:
+            assert method.spectral == (name in SPECTRAL_METHODS
+                                       or name in STREAMING_METHODS)
+            if name in STREAMING_METHODS:
+                # Streaming methods run MUSIC with the tracker flag set; the
+                # config keeps method="music" (the spectrum it produces).
+                config = method.estimator_config()
+                assert config.method == "music"
+                assert config.subspace_tracking
+            elif method.spectral:
                 assert method.estimator_config().method == name
             else:
                 with pytest.raises(ValueError, match="search-free"):

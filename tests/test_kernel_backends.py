@@ -1,0 +1,299 @@
+"""The kernel tier: backend resolution, numpy kernels, optional accelerators.
+
+The numpy backend's kernels are the literal pre-seam inline code, so its
+tests assert byte-level agreement with the direct numpy expressions and with
+the pre-seam pipeline (``REPRO_BACKEND=numpy`` must be a no-op).  Torch and
+CuPy are optional: their construction errors must name the pip extra, and
+their kernel tests skip when the package is absent and assert tolerance-level
+agreement when it is present.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aoa import AoAEstimator, EstimatorConfig
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.steering import steering_vector
+from repro.kernels import (
+    BACKEND_NAMES,
+    Backend,
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    backend_extra,
+    complex_dtype,
+    delay_ramps,
+    get_backend,
+    real_dtype,
+    validate_precision,
+)
+
+
+def _has(module: str) -> bool:
+    try:
+        __import__(module)
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.fixture
+def numpy_backend():
+    return get_backend("numpy")
+
+
+# ---------------------------------------------------------------- resolution
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert get_backend().name == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_explicit_name_and_cache(self):
+        assert get_backend("numpy") is get_backend("NumPy")  # normalised + cached
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert get_backend().name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            get_backend()
+
+    def test_instances_pass_through(self, numpy_backend):
+        assert get_backend(numpy_backend) is numpy_backend
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_backend("jax")
+        for name in BACKEND_NAMES:
+            assert name in str(excinfo.value)
+
+    @pytest.mark.parametrize("name", ["torch", "cupy"])
+    def test_missing_optional_backend_names_the_extra(self, name):
+        if _has(name):
+            pytest.skip(f"{name} is installed here")
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            get_backend(name)
+        assert "repro[gpu]" in str(excinfo.value)
+        assert backend_extra(name) == "repro[gpu]"
+
+    def test_available_backends_reports_numpy(self):
+        availability = available_backends()
+        assert availability["numpy"] is True
+        assert set(availability) == set(BACKEND_NAMES)
+
+    def test_precision_helpers(self):
+        assert validate_precision("float64") == "float64"
+        with pytest.raises(ValueError, match="unknown precision"):
+            validate_precision("float16")
+        assert real_dtype("float32") == np.float32
+        assert complex_dtype("float32") == np.complex64
+        assert real_dtype("float64") == np.float64
+        assert complex_dtype("float64") == np.complex128
+
+
+# ------------------------------------------------------------- numpy kernels
+class TestNumpyKernels:
+    """NumpyBackend kernels are byte-identical to the direct expressions."""
+
+    def test_eigh_inv_matmul(self, numpy_backend, rng):
+        x = rng.standard_normal((3, 6, 6)) + 1j * rng.standard_normal((3, 6, 6))
+        hermitian = x @ x.conj().transpose(0, 2, 1)
+        values, vectors = numpy_backend.eigh(hermitian)
+        ref_values, ref_vectors = np.linalg.eigh(hermitian)
+        assert np.array_equal(values, ref_values)
+        assert np.array_equal(vectors, ref_vectors)
+        loaded = hermitian + np.eye(6)
+        assert np.array_equal(numpy_backend.inv(loaded), np.linalg.inv(loaded))
+        assert np.array_equal(numpy_backend.matmul(x, hermitian),
+                              np.matmul(x, hermitian))
+
+    def test_correlation_stack_matches_definition(self, numpy_backend, rng):
+        samples = [rng.standard_normal((4, t)) + 1j * rng.standard_normal((4, t))
+                   for t in (64, 100)]
+        stack = numpy_backend.correlation_stack(samples)
+        for index, x in enumerate(samples):
+            np.testing.assert_allclose(stack[index], x @ x.conj().T / x.shape[1],
+                                       rtol=1e-12)
+            # Hermitian by construction (the conjugate triangle fill).
+            assert np.array_equal(stack[index], stack[index].conj().T)
+
+    def test_correlation_stack_complex64(self, numpy_backend, rng):
+        samples = [(rng.standard_normal((4, 64))
+                    + 1j * rng.standard_normal((4, 64))).astype(np.complex64)]
+        stack = numpy_backend.correlation_stack(samples)
+        assert stack.dtype == np.complex64
+        np.testing.assert_allclose(
+            stack[0], (samples[0] @ samples[0].conj().T / 64).astype(np.complex64),
+            rtol=1e-5)
+
+    def test_music_and_beamscan_contractions(self, numpy_backend, rng):
+        steering = rng.standard_normal((6, 19)) + 1j * rng.standard_normal((6, 19))
+        signal = rng.standard_normal((2, 6, 2)) + 1j * rng.standard_normal((2, 6, 2))
+        power = numpy_backend.music_projection_power(signal, steering)
+        projections = signal.conj().transpose(0, 2, 1) @ steering
+        assert np.array_equal(power, np.sum(np.abs(projections) ** 2, axis=1))
+        matrices = rng.standard_normal((2, 6, 6)) + 1j * rng.standard_normal((2, 6, 6))
+        numerator = numpy_backend.beamscan_numerator(matrices, steering)
+        expected = np.sum((steering.conj() * (matrices @ steering)).real, axis=1)
+        assert np.array_equal(numerator, expected)
+
+    def test_steering_stack_matches_scalar_loop(self, numpy_backend):
+        array = UniformLinearArray(num_elements=5)
+        angles = [-40.0, 0.0, 62.5]
+        stack = numpy_backend.steering_stack(array.element_positions, angles,
+                                             array.wavelength)
+        for row, angle in zip(stack, angles):
+            assert np.array_equal(
+                row, steering_vector(array.element_positions, angle,
+                                     array.wavelength))
+
+    def test_fractional_delay_and_passthrough(self, numpy_backend, rng):
+        waveforms = rng.standard_normal((1, 1, 128)) + \
+            1j * rng.standard_normal((1, 1, 128))
+        delays = np.array([[0.0, 1.25, 3.5]])
+        out = numpy_backend.fractional_delay(waveforms, delays, (1, 3, 128))
+        # Zero delay bypasses the FFT round trip entirely.
+        assert np.array_equal(out[0, 0], waveforms[0, 0])
+        # A whole-sample delay is a circular shift (windows are padded upstream).
+        spectra = np.fft.fft(waveforms[0, 0])
+        ramp = np.exp(-2j * np.pi * np.fft.fftfreq(128) * 3.5)
+        np.testing.assert_allclose(out[0, 2], np.fft.ifft(spectra * ramp),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_phase_walk_unit_magnitude(self, numpy_backend, rng):
+        initials = rng.random(3) * 2 * np.pi
+        steps = rng.standard_normal((3, 50)) * 0.01
+        steps[:, 0] = 0.0
+        walks = numpy_backend.phase_walk(initials, steps)
+        np.testing.assert_allclose(np.abs(walks), 1.0, rtol=1e-12)
+        phases = initials[:, None] + np.cumsum(steps, axis=1)
+        assert np.array_equal(walks, np.cos(phases) + 1j * np.sin(phases))
+
+    def test_ifft(self, numpy_backend, rng):
+        spectra = rng.standard_normal((2, 64)) + 1j * rng.standard_normal((2, 64))
+        assert np.array_equal(numpy_backend.ifft(spectra),
+                              np.fft.ifft(spectra, axis=-1))
+
+    def test_delay_ramps_dedup_and_dtype(self):
+        delays = np.array([[1.5, 0.25], [1.5, 0.25]])
+        ramps = delay_ramps(delays, 32)
+        # One unique row: a broadcast view, not two materialised copies.
+        assert ramps.shape == (2, 2, 32)
+        assert np.array_equal(ramps[0], ramps[1])
+        ramps32 = delay_ramps(delays.astype(np.float32), 32)
+        assert ramps32.dtype == np.complex64
+
+
+# -------------------------------------------------------------- env override
+class TestEnvByteIdentity:
+    def test_repro_backend_numpy_is_a_no_op(self, monkeypatch, linear_array,
+                                            rng):
+        steering = linear_array.steering_vector(25.0)
+        signal = np.exp(1j * 2 * np.pi * rng.random(300))
+        samples = steering[:, None] * signal[None, :] + 0.01 * (
+            rng.standard_normal((8, 300)) + 1j * rng.standard_normal((8, 300)))
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        default = AoAEstimator(linear_array, EstimatorConfig()).process_samples(
+            samples)
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        forced = AoAEstimator(linear_array, EstimatorConfig()).process_samples(
+            samples)
+        assert np.array_equal(
+            default.pseudospectrum.values.view(np.uint8),
+            forced.pseudospectrum.values.view(np.uint8))
+        assert default.bearing_deg == forced.bearing_deg
+
+
+# ------------------------------------------------------------ optional torch
+class TestTorchBackend:
+    """Tolerance-level agreement with numpy (skipped when torch is absent)."""
+
+    @pytest.fixture
+    def torch_backend(self):
+        pytest.importorskip("torch")
+        return get_backend("torch")
+
+    def test_is_a_backend(self, torch_backend):
+        assert isinstance(torch_backend, Backend)
+        assert torch_backend.name == "torch"
+
+    def test_linear_algebra_kernels(self, torch_backend, numpy_backend, rng):
+        x = rng.standard_normal((2, 6, 6)) + 1j * rng.standard_normal((2, 6, 6))
+        hermitian = x @ x.conj().transpose(0, 2, 1) + 6 * np.eye(6)
+        values, _ = torch_backend.eigh(hermitian)
+        ref_values, _ = numpy_backend.eigh(hermitian)
+        np.testing.assert_allclose(values, ref_values, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(torch_backend.inv(hermitian),
+                                   numpy_backend.inv(hermitian),
+                                   rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(torch_backend.matmul(x, hermitian),
+                                   numpy_backend.matmul(x, hermitian),
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_correlation_and_contractions(self, torch_backend, numpy_backend,
+                                          rng):
+        samples = [rng.standard_normal((4, 80)) + 1j * rng.standard_normal((4, 80))]
+        np.testing.assert_allclose(torch_backend.correlation_stack(samples),
+                                   numpy_backend.correlation_stack(samples),
+                                   rtol=1e-10, atol=1e-12)
+        steering = rng.standard_normal((4, 13)) + 1j * rng.standard_normal((4, 13))
+        signal = rng.standard_normal((1, 4, 2)) + 1j * rng.standard_normal((1, 4, 2))
+        np.testing.assert_allclose(
+            torch_backend.music_projection_power(signal, steering),
+            numpy_backend.music_projection_power(signal, steering),
+            rtol=1e-10, atol=1e-12)
+        matrices = rng.standard_normal((1, 4, 4)) + 1j * rng.standard_normal((1, 4, 4))
+        np.testing.assert_allclose(
+            torch_backend.beamscan_numerator(matrices, steering),
+            numpy_backend.beamscan_numerator(matrices, steering),
+            rtol=1e-10, atol=1e-12)
+
+    def test_synthesis_kernels(self, torch_backend, numpy_backend, rng):
+        array = UniformLinearArray(num_elements=4)
+        np.testing.assert_allclose(
+            torch_backend.steering_stack(array.element_positions, [10.0, -30.0],
+                                         array.wavelength),
+            numpy_backend.steering_stack(array.element_positions, [10.0, -30.0],
+                                         array.wavelength),
+            rtol=1e-12, atol=1e-12)
+        waveforms = rng.standard_normal((1, 1, 64)) + \
+            1j * rng.standard_normal((1, 1, 64))
+        delays = np.array([[0.0, 2.25]])
+        np.testing.assert_allclose(
+            torch_backend.fractional_delay(waveforms, delays, (1, 2, 64)),
+            numpy_backend.fractional_delay(waveforms, delays, (1, 2, 64)),
+            rtol=1e-9, atol=1e-11)
+        initials = rng.random(2) * 2 * np.pi
+        steps = rng.standard_normal((2, 32)) * 0.01
+        np.testing.assert_allclose(torch_backend.phase_walk(initials, steps),
+                                   numpy_backend.phase_walk(initials, steps),
+                                   rtol=1e-10, atol=1e-12)
+        spectra = rng.standard_normal((2, 64)) + 1j * rng.standard_normal((2, 64))
+        np.testing.assert_allclose(torch_backend.ifft(spectra),
+                                   numpy_backend.ifft(spectra),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_estimator_runs_end_to_end(self, torch_backend, linear_array, rng):
+        steering = linear_array.steering_vector(-35.0)
+        signal = np.exp(1j * 2 * np.pi * rng.random(200))
+        samples = steering[:, None] * signal[None, :] + 0.01 * (
+            rng.standard_normal((8, 200)) + 1j * rng.standard_normal((8, 200)))
+        estimate = AoAEstimator(
+            linear_array, EstimatorConfig(backend="torch")).process_samples(samples)
+        assert abs(estimate.bearing_deg - (-35.0)) < 2.0
+
+
+# ------------------------------------------------------------- optional cupy
+class TestCupyBackend:
+    def test_estimator_runs_end_to_end(self, linear_array, rng):
+        pytest.importorskip("cupy")
+        steering = linear_array.steering_vector(10.0)
+        signal = np.exp(1j * 2 * np.pi * rng.random(200))
+        samples = steering[:, None] * signal[None, :] + 0.01 * (
+            rng.standard_normal((8, 200)) + 1j * rng.standard_normal((8, 200)))
+        estimate = AoAEstimator(
+            linear_array, EstimatorConfig(backend="cupy")).process_samples(samples)
+        assert abs(estimate.bearing_deg - 10.0) < 2.0
