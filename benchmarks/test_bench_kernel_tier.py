@@ -20,6 +20,7 @@ so they are machine-independent; absolute times are informational.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 from pathlib import Path
@@ -132,13 +133,11 @@ def kernel_tier_results():
         "backends_available": available_backends(),
         "numpy": np.__version__,
     }
-    try:
+    with contextlib.suppress(TypeError):  # numpy < 1.25 without mode="dicts"
         build = np.show_config(mode="dicts")
         blas = build.get("Build Dependencies", {}).get("blas", {})
         results["blas"] = {key: blas[key] for key in ("name", "version")
                            if key in blas}
-    except TypeError:  # pragma: no cover - numpy < 1.25 without mode=
-        pass
 
     # Micro kernels, per backend x precision.
     micro = {}

@@ -16,12 +16,14 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: downstream type checkers may consume our inline annotations.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.9",
     install_requires=["numpy>=1.21", "scipy>=1.7"],
     extras_require={
         "test": ["pytest>=7.0", "pytest-benchmark>=4.0", "pytest-cov>=4.0",
                  "hypothesis>=6.0"],
-        "lint": ["ruff>=0.4"],
+        "lint": ["ruff>=0.4", "mypy>=1.8"],
         # Optional accelerator backends for the kernel tier (REPRO_BACKEND /
         # EstimatorConfig.backend / SimulatorConfig.backend).  CuPy wheels are
         # CUDA-version-specific; cupy-cuda12x (etc.) also satisfies the

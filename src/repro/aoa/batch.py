@@ -186,7 +186,10 @@ class BatchAoAEstimator:
         values, metadata = self._spectra(matrices, eigenvectors, counts, steering, n)
         # Peak extraction and Pseudospectrum stay float64 regardless of the
         # estimation precision.
-        values = values.astype(np.float64, copy=False)
+        # Spectra are pinned to float64 by contract regardless of the
+        # precision mode (peak finding and Pseudospectrum compare across
+        # precisions); this is the documented cast point, not a leak.
+        values = values.astype(np.float64, copy=False)  # repro-lint: disable=precision-discipline
 
         # Vectorised peak extraction over the whole (B, A) stack, mirroring
         # Pseudospectrum.peak_bearings' defaults.
@@ -232,7 +235,9 @@ class BatchAoAEstimator:
     def _diagonal_loading(matrices: np.ndarray, loading_factor: float) -> np.ndarray:
         """Batched :func:`repro.aoa.covariance.diagonal_loading` over a stack."""
         n = matrices.shape[1]
-        power = np.einsum("bii->b", matrices).real / n
+        # Batched trace (diagonal gather, not a GEMM): no backend kernel
+        # applies, and the O(B*N) sum is negligible next to the eigh.
+        power = np.einsum("bii->b", matrices).real / n  # repro-lint: disable=seam-bypass
         load = loading_factor * np.maximum(power, np.finfo(power.dtype).tiny)
         return matrices + load[:, None, None] * np.eye(n, dtype=power.dtype)
 
@@ -260,7 +265,11 @@ class BatchAoAEstimator:
         for index, samples in enumerate(samples_list):
             for start in range(num_subarrays):
                 block = samples[start:start + subarray_size]
-                matrices[index] += block @ block.conj().T
+                # Spatial smoothing accumulates tiny per-subarray outer
+                # products in place; a per-block backend round trip would
+                # cost more than the GEMM. The smoothed stack still hits the
+                # seam for its eigendecomposition.
+                matrices[index] += block @ block.conj().T  # repro-lint: disable=seam-bypass
             matrices[index] /= samples.shape[1] * num_subarrays
         return matrices
 

@@ -14,6 +14,7 @@ import numpy as np
 from repro.aoa.covariance import diagonal_loading
 from repro.aoa.spectrum import Pseudospectrum
 from repro.arrays.geometry import AntennaArray
+from repro.kernels.backend import get_backend
 
 
 def capon_pseudospectrum(correlation: np.ndarray, array: AntennaArray,
@@ -34,7 +35,9 @@ def capon_pseudospectrum(correlation: np.ndarray, array: AntennaArray,
         angles_deg = array.angle_grid()
     angles = np.asarray(angles_deg, dtype=float)
     loaded = diagonal_loading(correlation, loading_factor)
-    inverse = np.linalg.inv(loaded)
+    # Routed through the Backend seam so REPRO_BACKEND covers the scalar
+    # path too; the numpy backend is literally np.linalg.inv (bit-identical).
+    inverse = get_backend().inv(loaded)
     steering = array.steering_matrix(angles)
     denominator = np.real(np.einsum("na,nm,ma->a", steering.conj(), inverse, steering))
     values = 1.0 / np.maximum(denominator, 1e-15)

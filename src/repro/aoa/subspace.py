@@ -149,7 +149,10 @@ class SubspaceTracker:
                 or self._packets_seen % self.resync_interval == 0):
             self._resync(samples.shape[1])
         else:
-            basis = self._orthonormalized(self._corr @ self._basis)
+            # One (N, N) x (N, r) product per packet: the power-iteration
+            # step is deliberately host-local — a device round trip per
+            # packet would erase the tracker's 1.55x streaming win.
+            basis = self._orthonormalized(self._corr @ self._basis)  # repro-lint: disable=seam-bypass
             if basis is None:
                 self._resync(samples.shape[1])
             else:
@@ -236,7 +239,9 @@ class SubspaceTracker:
             self._basis[None], self._steering)[0]
         denominator = self._steering_total - power
         values = 1.0 / np.maximum(denominator, 1e-15)
-        values = values.astype(np.float64, copy=False)
+        # Spectra stay float64 regardless of the precision mode (same
+        # contract as the batched engine's spectrum construction).
+        values = values.astype(np.float64, copy=False)  # repro-lint: disable=precision-discipline
 
         peak_indices = find_peaks_batch(
             values[None], wrap=self._wrap,

@@ -60,7 +60,7 @@ class AoAMethod:
     def __init__(self, name: str,
                  bearings: Callable[[np.ndarray, AntennaArray, Optional[int]], List[float]],
                  spectral: bool, requires_linear: bool = False, description: str = "",
-                 config_factory: Optional[Callable[..., EstimatorConfig]] = None):
+                 config_factory: Optional[Callable[..., EstimatorConfig]] = None) -> None:
         self.name = name
         self.spectral = spectral
         self.requires_linear = requires_linear
@@ -81,7 +81,7 @@ class AoAMethod:
             raise TypeError(f"AoA method {self.name!r} requires a UniformLinearArray")
         return self._bearings(samples, array, num_sources)
 
-    def estimator_config(self, **overrides) -> EstimatorConfig:
+    def estimator_config(self, **overrides: Any) -> EstimatorConfig:
         """An :class:`EstimatorConfig` running this method (spectral only)."""
         if not self.spectral:
             raise ValueError(
@@ -100,7 +100,8 @@ class AoAMethod:
 AOA_METHODS: Registry[AoAMethod] = Registry("aoa method")
 
 
-def _spectral_bearings(method: str):
+def _spectral_bearings(
+        method: str) -> Callable[[np.ndarray, AntennaArray, Optional[int]], List[float]]:
     def bearings(samples: np.ndarray, array: AntennaArray,
                  num_sources: Optional[int]) -> List[float]:
         estimator = AoAEstimator(array, EstimatorConfig(method=method, num_sources=num_sources))
@@ -153,7 +154,7 @@ AOA_METHODS.register("phase_interferometry", AoAMethod(
     aliases=("two_antenna",))
 
 
-def _subspace_config(**overrides) -> EstimatorConfig:
+def _subspace_config(**overrides: Any) -> EstimatorConfig:
     overrides.setdefault("subspace_tracking", True)
     return EstimatorConfig(method="music", **overrides)
 
@@ -190,8 +191,9 @@ ARRAY_GEOMETRIES.register("octagon", OctagonalArray, aliases=("prototype_circula
 
 
 @ARRAY_GEOMETRIES.register("arbitrary")
-def _arbitrary_array(element_positions, carrier_frequency_hz=None,
-                     name="arbitrary") -> AntennaArray:
+def _arbitrary_array(element_positions: Any,
+                     carrier_frequency_hz: Optional[float] = None,
+                     name: str = "arbitrary") -> AntennaArray:
     kwargs = {} if carrier_frequency_hz is None else {
         "carrier_frequency_hz": carrier_frequency_hz}
     return ArbitraryArray(np.asarray(element_positions, dtype=float), name=name, **kwargs)

@@ -111,7 +111,7 @@ class PacketEvent:
 class Deployment:
     """A compiled scenario: the one front door for driving SecureAngle."""
 
-    def __init__(self, spec: ScenarioSpec, rng: RngLike = None):
+    def __init__(self, spec: ScenarioSpec, rng: RngLike = None) -> None:
         self.spec = spec
         #: Master generator; AP simulators and attacker addresses derive from it.
         self._rng = ensure_rng(spec.seed if rng is None else rng)

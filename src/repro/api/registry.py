@@ -10,7 +10,7 @@ with a message pointing at ``"music"`` rather than a bare ``KeyError``.
 from __future__ import annotations
 
 import difflib
-from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Iterable, List, Optional, Tuple, TypeVar, Union
 
 T = TypeVar("T")
 
@@ -18,14 +18,14 @@ T = TypeVar("T")
 class Registry(Generic[T]):
     """A named string-to-component mapping with aliases and fuzzy errors."""
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self._entries: Dict[str, T] = {}
         self._aliases: Dict[str, str] = {}
 
     # ---------------------------------------------------------------- writing
     def register(self, name: str, value: Optional[T] = None,
-                 aliases: Iterable[str] = ()):
+                 aliases: Iterable[str] = ()) -> Union[T, Callable[[T], T]]:
         """Register ``value`` under ``name`` (plus ``aliases``).
 
         With ``value`` supplied, it is registered and returned.  With

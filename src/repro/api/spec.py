@@ -16,7 +16,7 @@ Compiling a spec into live objects is the job of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 from repro.aoa.estimator import EstimatorConfig
 from repro.api.components import ARRAY_GEOMETRIES, ATTACK_TYPES, ENVIRONMENTS
@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 
-def _coerce_xy(spec, field_name: str) -> None:
+def _coerce_xy(spec: object, field_name: str) -> None:
     """Normalise an optional (x, y) field to a float tuple (frozen-safe).
 
     Specs are naturally built with lists (JSON, hand-written configs); the
@@ -55,7 +55,9 @@ def _coerce_xy(spec, field_name: str) -> None:
     coerced = tuple(float(coordinate) for coordinate in value)
     if len(coerced) != 2:
         raise ValueError(f"{field_name} must be an (x, y) pair, got {value!r}")
-    object.__setattr__(spec, field_name, coerced)
+    # Shared canonicalisation helper invoked only from the frozen specs' own
+    # __post_init__ methods — construction-time, never post-hoc mutation.
+    object.__setattr__(spec, field_name, coerced)  # repro-lint: disable=frozen-config-mutation
 
 
 @dataclass(frozen=True)
@@ -177,7 +179,7 @@ class AttackerSpec(JsonSerializable):
         _coerce_xy(self, "aim_point")
 
     def build(self, environment: TestbedEnvironment,
-              ap_positions, rng: RngLike = None) -> Attacker:
+              ap_positions: Mapping[str, Point], rng: RngLike = None) -> Attacker:
         """Instantiate the attacker in a concrete environment.
 
         ``ap_positions`` maps AP names to :class:`Point` (for ``aim_ap``);

@@ -26,6 +26,7 @@ wherever they run) executed the shards.
 from __future__ import annotations
 
 import abc
+import contextlib
 import os
 import shutil
 import subprocess
@@ -33,7 +34,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.api.registry import Registry
 from repro.campaign.spec import CampaignSpec, ShardSpec
@@ -148,7 +149,7 @@ class FileQueue:
 
     QUEUE_DIR = "queue"
 
-    def __init__(self, store_root) -> None:
+    def __init__(self, store_root: Union[str, Path]) -> None:
         self.root = Path(store_root) / self.QUEUE_DIR
         self.tasks_dir = self.root / "tasks"
         self.leases_dir = self.root / "leases"
@@ -163,10 +164,15 @@ class FileQueue:
         for directory in (self.tasks_dir, self.leases_dir, self.failed_dir):
             directory.mkdir(parents=True, exist_ok=True)
         for shard in shards:
-            self._task_path(self.tasks_dir, shard.index).write_text(
+            # Queue protocol file, not a store record: workers only read
+            # tasks after the ready marker lands, and build() rebuilds the
+            # whole queue from scratch, so a torn task file cannot survive.
+            self._task_path(self.tasks_dir, shard.index).write_text(  # repro-lint: disable=atomic-write
                 shard.to_json() + "\n", encoding="utf-8")
         fsync_directory(self.tasks_dir)
-        self.ready_marker.write_text("ready\n", encoding="utf-8")
+        # Single-block marker written after every task is in place; a torn
+        # marker just means "not ready yet" and the coordinator rebuilds.
+        self.ready_marker.write_text("ready\n", encoding="utf-8")  # repro-lint: disable=atomic-write
         fsync_directory(self.root)
 
     def requeue_expired(self, lease_timeout_s: float,
@@ -239,10 +245,8 @@ class FileQueue:
             # Start the lease clock now: the rename preserved the *task*
             # file's mtime (its enqueue time), which would make any claim
             # late in a long campaign look instantly expired.
-            try:
+            with contextlib.suppress(OSError):
                 os.utime(lease)
-            except OSError:
-                pass
             return lease
         return None
 
@@ -254,10 +258,11 @@ class FileQueue:
         """Move a lease to ``failed/`` with the error text (terminal state)."""
         self.failed_dir.mkdir(parents=True, exist_ok=True)
         failed = self.failed_dir / lease.name
-        try:
-            failed.write_text(error, encoding="utf-8")
-        except OSError:
-            pass
+        with contextlib.suppress(OSError):
+            # Diagnostic traceback for a terminally failed shard; the
+            # failure signal is the file's *existence*, so a torn body only
+            # truncates the message, never corrupts campaign state.
+            failed.write_text(error, encoding="utf-8")  # repro-lint: disable=atomic-write
         self._unlink(lease)
 
     @property
@@ -292,10 +297,8 @@ class FileQueue:
 
     @staticmethod
     def _unlink(path: Path) -> None:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(path)
-        except OSError:
-            pass
 
 
 class FileQueueBackend(ExecutorBackend):
@@ -416,6 +419,6 @@ BACKENDS.register(
     aliases=("filequeue", "fq"))
 
 
-def make_backend(name: str, **options) -> ExecutorBackend:
+def make_backend(name: str, **options: Any) -> ExecutorBackend:
     """Build a backend by CLI name (``serial``/``pool``/``file-queue``)."""
     return BACKENDS.get(name)(**options)

@@ -109,9 +109,10 @@ def _load_or_build_spec(args: argparse.Namespace) -> CampaignSpec:
         try:
             spec = CampaignSpec.load_json(target)
         except FileNotFoundError:
-            raise SystemExit(f"campaign spec file not found: {target}")
+            raise SystemExit(f"campaign spec file not found: {target}") from None
         except (TypeError, ValueError, KeyError) as error:
-            raise SystemExit(f"cannot load campaign spec {target}: {error}")
+            raise SystemExit(
+                f"cannot load campaign spec {target}: {error}") from error
     else:
         spec = get_adapter(target).default_spec()
     overrides: Dict[str, Any] = {}
@@ -187,7 +188,8 @@ def _build_backend(args: argparse.Namespace) -> Optional[ExecutorBackend]:
         return make_backend(name, workers=args.workers,
                             lease_timeout_s=args.lease_timeout)
     except KeyError as error:
-        raise SystemExit(str(error.args[0]) if error.args else str(error))
+        raise SystemExit(
+            str(error.args[0]) if error.args else str(error)) from error
 
 
 def _finish_campaign(spec: CampaignSpec, args: argparse.Namespace) -> int:
@@ -282,7 +284,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                    startup_timeout_s=args.startup_timeout, quiet=args.quiet)
     except TimeoutError as error:
         # A typo'd --queue must not look like a successful drain.
-        raise SystemExit(f"worker: {error}")
+        raise SystemExit(f"worker: {error}") from error
     return 0
 
 

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.aoa.estimator import EstimatorConfig
 
 from repro.utils.rng import derive_seed, ensure_rng
 from repro.utils.serde import JsonSerializable, from_jsonable
@@ -27,7 +30,8 @@ from repro.utils.serde import JsonSerializable, from_jsonable
 __all__ = ["CampaignSpec", "ShardSpec", "estimator_from_params"]
 
 
-def estimator_from_params(params: Dict[str, Any], key: str = "estimator"):
+def estimator_from_params(params: Dict[str, Any],
+                          key: str = "estimator") -> Optional[EstimatorConfig]:
     """Revive an optional ``EstimatorConfig`` embedded in campaign parameters.
 
     Campaign base parameters are plain JSON values; an estimator override

@@ -20,12 +20,13 @@ results), and only executes the missing shards.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.utils.serde import JsonSerializable
@@ -105,7 +106,7 @@ class ResultStore:
     PROGRESS_FILE = "progress.json"
     SHARD_DIR = "shards"
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.shard_dir = self.root / self.SHARD_DIR
 
@@ -148,10 +149,8 @@ class ResultStore:
             if durable:
                 fsync_directory(path.parent)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(temp_name)
-            except OSError:
-                pass
             raise
         return path
 

@@ -26,7 +26,8 @@ from __future__ import annotations
 import sys
 import time
 import traceback
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.campaign.backends import FileQueue
 from repro.campaign.engine import execute_shard
@@ -41,7 +42,7 @@ def _log(message: str, quiet: bool) -> None:
         sys.stderr.write(f"[worker] {message}\n")
 
 
-def run_worker(queue_dir, poll_s: float = 0.2,
+def run_worker(queue_dir: Union[str, Path], poll_s: float = 0.2,
                max_shards: Optional[int] = None,
                exit_when_empty: bool = False,
                startup_timeout_s: float = 60.0,

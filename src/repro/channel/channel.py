@@ -386,13 +386,17 @@ def fractional_delay(waveform: np.ndarray, delay_samples: float) -> np.ndarray:
     if abs(delay_samples) < _DELAY_EPSILON_SAMPLES:
         return waveform.copy()
     n = waveform.size
-    spectrum = np.fft.fft(waveform)
+    # Scalar reference path, deliberately off the Backend seam: the batch
+    # path (fractional_delay_batch -> backend.fractional_delay) IS the seam
+    # route, and the batch/scalar byte-identity suite pins this exact
+    # numpy FFT rounding as the reference both must reproduce.
+    spectrum = np.fft.fft(waveform)  # repro-lint: disable=seam-bypass
     frequencies = np.fft.fftfreq(n)
     # Named ramp: see fractional_delay_batch for why the temporary must not
     # be elided into an in-place complex multiply.
     ramp = np.exp(-2j * np.pi * frequencies * delay_samples)
     shifted = spectrum * ramp
-    return np.fft.ifft(shifted)
+    return np.fft.ifft(shifted)  # repro-lint: disable=seam-bypass
 
 
 def fractional_delay_batch(waveforms: np.ndarray,

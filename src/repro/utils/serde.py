@@ -162,13 +162,13 @@ class JsonSerializable:
         """Rebuild an instance from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
-    def save_json(self, path) -> Path:
+    def save_json(self, path: Union[str, Path]) -> Path:
         """Write the JSON form to ``path`` and return it."""
         path = Path(path)
         path.write_text(self.to_json() + "\n", encoding="utf-8")
         return path
 
     @classmethod
-    def load_json(cls: Type[T], path) -> T:
+    def load_json(cls: Type[T], path: Union[str, Path]) -> T:
         """Load an instance previously written by :meth:`save_json`."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))

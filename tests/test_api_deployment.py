@@ -73,7 +73,7 @@ class TestCompilation:
             replace(spec.access_points[0], rng_stream=None),))
         untouched = Deployment(lone)
         touched = Deployment(lone)
-        touched.attackers  # build attackers before any capture
+        _ = touched.attackers  # build attackers before any capture
         without = Deployment(replace(lone, attackers=()))
         reference = untouched.simulator().capture_from_client(5)
         assert (reference.samples

@@ -196,7 +196,7 @@ class TestResume:
         # (with the bad axis value fixed or the bug fixed) skips them.
         spec = small_figure5_spec(client_ids=(1, 999, 2), num_packets=2)
         store = ResultStore(tmp_path / "campaign")
-        with pytest.raises(Exception):
+        with pytest.raises(KeyError, match="unknown client id 999"):
             run_campaign(spec, workers=3, store=store)
         completed = store.completed_indices()
         assert 1 not in completed

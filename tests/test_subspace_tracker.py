@@ -132,7 +132,7 @@ class TestPolicy:
         config = EstimatorConfig(subspace_tracking=True)
         tracker = SubspaceTracker(linear_array, config, warmup_packets=3)
         assert not tracker.tracking and tracker.packets_seen == 0
-        for index in range(5):
+        for _ in range(5):
             tracker.update(plane_wave(linear_array, 10.0, 128, rng))
         assert tracker.tracking and tracker.packets_seen == 5
 
