@@ -13,6 +13,16 @@ count, or scheduling; a :class:`ResultStore` makes runs resumable (atomic
 durable per-shard records, skip-on-resume) and carries a ``progress.json``
 heartbeat (completed/total shards, throughput, ETA).
 
+Execution is fault-tolerant: failing shards are retried under a shared
+:class:`RetryPolicy` (exponential, deterministically jittered backoff) and
+parked in the store's quarantine with their tracebacks once the budget is
+exhausted; file-queue workers heartbeat their leases so the coordinator
+re-queues only dead workers' shards, never slow ones; and tail stragglers
+are speculatively re-dispatched (duplicate records are byte-identical, so
+whichever lands first wins).  Every recovery path is exercised
+deterministically by the chaos suite via :class:`FaultPlan`
+(:mod:`repro.campaign.faults`).
+
 The paper's figure and evaluation experiments are registered in
 :data:`CAMPAIGNS`; ``python -m repro`` drives everything from the command
 line.
@@ -32,17 +42,21 @@ from repro.campaign.backends import (
     SerialBackend,
     ShardFailure,
     make_backend,
+    quarantine_summary,
 )
 from repro.campaign.engine import CampaignRun, execute_shard, run_campaign
+from repro.campaign.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.campaign.progress import CampaignProgress
+from repro.campaign.retry import RetryPolicy
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.campaign.store import (
     CampaignResult,
+    QuarantineEntry,
     ResultStore,
     ShardRecord,
     StoreMismatchError,
 )
-from repro.campaign.worker import run_worker
+from repro.campaign.worker import WorkerResult, run_worker
 
 __all__ = [
     "BACKENDS",
@@ -53,17 +67,24 @@ __all__ = [
     "CampaignRun",
     "CampaignSpec",
     "ExecutorBackend",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FileQueueBackend",
     "ProcessPoolBackend",
+    "QuarantineEntry",
     "ResultStore",
+    "RetryPolicy",
     "SerialBackend",
     "ShardFailure",
     "ShardRecord",
     "ShardSpec",
     "StoreMismatchError",
+    "WorkerResult",
     "execute_shard",
     "get_adapter",
     "make_backend",
+    "quarantine_summary",
     "run_campaign",
     "run_worker",
 ]

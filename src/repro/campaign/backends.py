@@ -12,15 +12,32 @@ The engine plans a campaign (compile shards, load resumable records, merge);
   store; independent worker processes (``python -m repro worker --queue DIR``,
   on this host or any host that mounts the store) claim tasks via atomic
   rename, execute them, and write records into the shared
-  :class:`~repro.campaign.store.ResultStore`.  The coordinator polls the
-  store, re-queues tasks whose worker lease expired without producing a
-  record (crash recovery), and raises after the queue drains if any shard
-  failed.
+  :class:`~repro.campaign.store.ResultStore`.
+
+Fault tolerance is uniform across backends:
+
+* every backend applies the same :class:`~repro.campaign.retry.RetryPolicy`
+  — a failing shard is re-attempted with exponential, deterministically
+  jittered backoff, its attempt count persisted in the store's ``attempts/``
+  directory, and a shard that exhausts the budget is *parked* (handed to the
+  engine's ``park`` callback, which quarantines it) instead of failing the
+  whole campaign;
+* file-queue workers heartbeat their leases (``leases/<task>.heartbeat``),
+  so the coordinator re-queues a shard only when the *heartbeat* goes stale
+  — a slow-but-alive worker keeps its lease for as long as it keeps
+  beating, while a dead worker's shard returns to the queue after
+  ``lease_timeout_s``;
+* near the campaign tail the file-queue coordinator re-dispatches
+  stragglers: when few shards remain and one has been running far longer
+  than the completed-shard median, its task is speculatively re-enqueued and
+  whichever record lands first wins (records are bit-identical, so the
+  duplicate is harmless).
 
 Every backend feeds the same ``land`` callback and the merge consumes
 JSON-canonicalised records in shard-index order, so the merged campaign
 result is bit-identical whichever backend (and however many workers,
-wherever they run) executed the shards.
+wherever they run, however many retries and re-dispatches it took) executed
+the shards.
 """
 
 from __future__ import annotations
@@ -29,16 +46,25 @@ import abc
 import contextlib
 import os
 import shutil
+import statistics
 import subprocess
 import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.api.registry import Registry
+from repro.campaign.retry import RetryPolicy
 from repro.campaign.spec import CampaignSpec, ShardSpec
-from repro.campaign.store import ResultStore, ShardRecord, fsync_directory
+from repro.campaign.store import (
+    QuarantineEntry,
+    ResultStore,
+    ShardRecord,
+    fsync_directory,
+    write_atomic,
+)
 
 __all__ = [
     "BACKENDS",
@@ -49,6 +75,7 @@ __all__ = [
     "SerialBackend",
     "ShardFailure",
     "make_backend",
+    "quarantine_summary",
 ]
 
 #: Landing callback the engine hands to a backend: ``land(record)`` registers
@@ -56,9 +83,79 @@ __all__ = [
 #: already in the store, as file-queue workers write their own records).
 LandCallback = Callable[..., None]
 
+#: Parking callback: ``park(entry)`` registers a shard that exhausted its
+#: retry budget (``persisted=True`` when the entry is already quarantined in
+#: the store, as file-queue workers quarantine their own shards).  Backends
+#: invoked without one keep the historical fail-fast behaviour.
+ParkCallback = Callable[..., None]
+
 
 class ShardFailure(RuntimeError):
     """One or more shards failed to execute."""
+
+
+def quarantine_summary(entries: Dict[int, QuarantineEntry],
+                       store: Optional[ResultStore]) -> str:
+    """One aggregated report covering *every* parked shard.
+
+    Lists each failed shard's index, attempt count, terminal error line, and
+    quarantine-entry path (so nothing hides behind "first failure wins"),
+    then appends the first shard's full traceback for immediate diagnosis.
+    """
+    lines = [f"{len(entries)} shard(s) exhausted their retry budget:"]
+    for index in sorted(entries):
+        entry = entries[index]
+        where = (str(store.quarantine_path(index)) if store is not None
+                 else "(in-memory)")
+        error_lines = entry.error.strip().splitlines()
+        last = error_lines[-1] if error_lines else "unknown error"
+        lines.append(f"  shard {index}: {entry.attempts} attempt(s), "
+                     f"{last} [{where}]")
+    first = entries[min(entries)]
+    lines.append(f"first failed shard ({min(entries)}) traceback:")
+    lines.append(first.error.rstrip())
+    return "\n".join(lines)
+
+
+def _attempt_counter(store: Optional[ResultStore]) -> Callable[[int, str], int]:
+    """Per-shard attempt bumping: store-backed when available, else local."""
+    if store is not None:
+        return store.bump_attempts
+    counts: Dict[int, int] = {}
+
+    def bump(index: int, error: str) -> int:
+        counts[index] = counts.get(index, 0) + 1
+        return counts[index]
+
+    return bump
+
+
+def _run_with_retry(spec: CampaignSpec, shard: ShardSpec, retry: RetryPolicy,
+                    bump: Callable[[int, str], int],
+                    park: Optional[ParkCallback],
+                    worker: Optional[str] = None) -> Optional[ShardRecord]:
+    """Execute one shard in-process, retrying under ``retry``'s budget.
+
+    Returns the record, or ``None`` after parking the exhausted shard.  With
+    no ``park`` callback the exhausted failure propagates unchanged — the
+    historical fail-fast behaviour for direct backend callers.
+    """
+    from repro.campaign.engine import execute_shard
+
+    while True:
+        try:
+            return execute_shard(spec, shard)
+        except Exception:
+            trace = traceback.format_exc()
+            attempts = bump(shard.index, trace)
+            if retry.exhausted(attempts):
+                if park is None:
+                    raise
+                park(QuarantineEntry(index=shard.index, attempts=attempts,
+                                     error=trace, worker=worker,
+                                     shard=shard.to_dict()))
+                return None
+            time.sleep(retry.backoff_s(shard.seed, attempts))
 
 
 class ExecutorBackend(abc.ABC):
@@ -69,13 +166,15 @@ class ExecutorBackend(abc.ABC):
 
     @abc.abstractmethod
     def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
-                land: LandCallback, store: Optional[ResultStore]) -> None:
+                land: LandCallback, store: Optional[ResultStore],
+                park: Optional[ParkCallback] = None) -> None:
         """Execute ``pending`` shards, calling ``land`` for each record.
 
         ``land`` may be called in any completion order; the engine re-orders
         records canonically before merging.  Implementations must land every
         successful shard before propagating the first failure, so completed
-        work is never thrown away.
+        work is never thrown away.  ``park`` receives shards that exhausted
+        the retry budget; when omitted, such shards fail fast instead.
         """
 
 
@@ -84,12 +183,19 @@ class SerialBackend(ExecutorBackend):
 
     name = "serial"
 
-    def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
-                land: LandCallback, store: Optional[ResultStore]) -> None:
-        from repro.campaign.engine import execute_shard
+    def __init__(self, retry: Optional[RetryPolicy] = None) -> None:
+        self.retry = retry
 
+    def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
+                land: LandCallback, store: Optional[ResultStore],
+                park: Optional[ParkCallback] = None) -> None:
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        bump = _attempt_counter(store)
         for shard in pending:
-            land(execute_shard(spec, shard))
+            record = _run_with_retry(spec, shard, retry, bump, park,
+                                     worker=self.name)
+            if record is not None:
+                land(record)
 
 
 class ProcessPoolBackend(ExecutorBackend):
@@ -97,38 +203,68 @@ class ProcessPoolBackend(ExecutorBackend):
 
     name = "pool"
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(self, workers: int = 2,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
+        self.retry = retry
 
     def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
-                land: LandCallback, store: Optional[ResultStore]) -> None:
-        from repro.campaign.engine import _shard_task, execute_shard
+                land: LandCallback, store: Optional[ResultStore],
+                park: Optional[ParkCallback] = None) -> None:
+        from repro.campaign.engine import _shard_task
 
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        bump = _attempt_counter(store)
         # One worker (or one shard) gains nothing from a pool; run in-process.
         if self.workers == 1 or len(pending) <= 1:
             for shard in pending:
-                land(execute_shard(spec, shard))
+                record = _run_with_retry(spec, shard, retry, bump, park,
+                                         worker=self.name)
+                if record is not None:
+                    land(record)
             return
         spec_data = spec.to_dict()
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
-            futures = [pool.submit(_shard_task, spec_data, shard.to_dict())
-                       for shard in pending]
-            # Land every successful shard (persisting it when a store is
-            # attached) before propagating the first failure, so one bad
-            # shard never throws away the other workers' finished work.
-            failure: Optional[BaseException] = None
-            for future in as_completed(futures):
-                try:
-                    record = ShardRecord.from_dict(future.result())
-                except BaseException as error:
-                    if failure is None:
-                        failure = error
-                    continue
-                land(record)
-            if failure is not None:
-                raise failure
+        wave: List[ShardSpec] = list(pending)
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))) as pool:
+            # Retry in waves: every shard of the current wave is submitted,
+            # every successful shard lands (persisting when a store is
+            # attached) before anything propagates, and the failures whose
+            # budget allows it form the next wave after their backoff.
+            while wave:
+                futures = {pool.submit(_shard_task, spec_data, shard.to_dict()):
+                           shard for shard in wave}
+                retries: List[ShardSpec] = []
+                backoff = 0.0
+                failure: Optional[BaseException] = None
+                for future in as_completed(futures):
+                    shard = futures[future]
+                    try:
+                        record = ShardRecord.from_dict(future.result())
+                    except BaseException as error:
+                        trace = "".join(traceback.format_exception(
+                            type(error), error, error.__traceback__))
+                        attempts = bump(shard.index, trace)
+                        if not retry.exhausted(attempts):
+                            retries.append(shard)
+                            backoff = max(backoff,
+                                          retry.backoff_s(shard.seed, attempts))
+                        elif park is not None:
+                            park(QuarantineEntry(
+                                index=shard.index, attempts=attempts,
+                                error=trace, worker=self.name,
+                                shard=shard.to_dict()))
+                        elif failure is None:
+                            failure = error
+                        continue
+                    land(record)
+                if failure is not None:
+                    raise failure
+                if retries and backoff > 0:
+                    time.sleep(backoff)
+                wave = retries
 
 
 class FileQueue:
@@ -137,31 +273,45 @@ class FileQueue:
     Lives inside the result store (``<store>/queue``) so one shared directory
     carries the whole protocol:
 
-    * ``tasks/task-00042.json`` — a pending shard (its ``ShardSpec`` JSON);
+    * ``tasks/task-00042.json`` — a pending shard (its ``ShardSpec`` JSON); a
+      task whose mtime lies in the *future* is deferred — a retry waiting out
+      its backoff — and is skipped by :meth:`claim` until the time arrives;
     * ``leases/task-00042.json`` — a shard some worker has claimed; the
       claim is the atomic ``os.rename`` from ``tasks/`` (exactly one worker
-      can win it), and the lease file's mtime is the lease clock;
-    * ``failed/task-00042.json`` — a shard whose execution raised (the file
-      holds the traceback text);
+      can win it), and the lease file's mtime is the claim time;
+    * ``leases/task-00042.heartbeat`` — the claiming worker's liveness
+      beacon, atomically refreshed every ``--heartbeat`` seconds while the
+      shard executes.  The coordinator re-queues a lease only when *both*
+      the lease and its heartbeat are stale, so a slow-but-alive worker is
+      never preempted;
+    * ``retry.json`` — the coordinator's :class:`RetryPolicy`, persisted
+      before the queue opens so detached workers apply the same budget;
     * ``ready`` — marker written after every task is enqueued, so workers
       that start before the coordinator never see a half-built queue.
+
+    Shard *failures* are not queue state: workers persist attempt counts and
+    quarantine entries in the :class:`~repro.campaign.store.ResultStore`
+    (surviving both worker and coordinator crashes), and re-queue their own
+    failed shard with a backoff-deferred task file while budget remains.
     """
 
     QUEUE_DIR = "queue"
+    RETRY_FILE = "retry.json"
 
     def __init__(self, store_root: Union[str, Path]) -> None:
         self.root = Path(store_root) / self.QUEUE_DIR
         self.tasks_dir = self.root / "tasks"
         self.leases_dir = self.root / "leases"
-        self.failed_dir = self.root / "failed"
         self.ready_marker = self.root / "ready"
+        self.retry_path = self.root / self.RETRY_FILE
 
     # ------------------------------------------------------------- coordinator
-    def build(self, shards: Sequence[ShardSpec]) -> None:
+    def build(self, shards: Sequence[ShardSpec],
+              retry: Optional[RetryPolicy] = None) -> None:
         """(Re)build the queue with one task per shard, then open it."""
         if self.root.exists():
             shutil.rmtree(self.root)
-        for directory in (self.tasks_dir, self.leases_dir, self.failed_dir):
+        for directory in (self.tasks_dir, self.leases_dir):
             directory.mkdir(parents=True, exist_ok=True)
         for shard in shards:
             # Queue protocol file, not a store record: workers only read
@@ -169,6 +319,12 @@ class FileQueue:
             # whole queue from scratch, so a torn task file cannot survive.
             self._task_path(self.tasks_dir, shard.index).write_text(  # repro-lint: disable=atomic-write
                 shard.to_json() + "\n", encoding="utf-8")
+        # The retry policy ships with the queue (also pre-ready, so workers
+        # never observe it torn); workers fall back to the default when the
+        # file is absent (a queue built by an older coordinator).
+        self.retry_path.write_text(  # repro-lint: disable=atomic-write
+            (retry if retry is not None else RetryPolicy()).to_json() + "\n",
+            encoding="utf-8")
         fsync_directory(self.tasks_dir)
         # Single-block marker written after every task is in place; a torn
         # marker just means "not ready yet" and the coordinator rebuilds.
@@ -176,13 +332,16 @@ class FileQueue:
         fsync_directory(self.root)
 
     def requeue_expired(self, lease_timeout_s: float,
-                        recorded: Set[int]) -> List[int]:
-        """Return orphaned leases to the task queue (crash recovery).
+                        done: Set[int]) -> List[int]:
+        """Return dead-worker leases to the task queue (crash recovery).
 
-        A lease older than ``lease_timeout_s`` whose shard still has no
-        record means the worker died (or hung) mid-shard; the task goes back
-        to ``tasks/`` for any live worker to claim.  Leases whose record
-        already exists are simply cleared.
+        A lease whose shard is still unaccounted for and whose freshest
+        liveness signal — the lease's claim time or its heartbeat, whichever
+        is newer — is older than ``lease_timeout_s`` means the worker died
+        (or lost the plot) mid-shard; the task goes back to ``tasks/`` for
+        any live worker to claim.  A heartbeating worker therefore keeps its
+        lease indefinitely, however slow the shard.  Leases for ``done``
+        shards (recorded or quarantined) are simply cleared.
         """
         requeued: List[int] = []
         now = time.time()
@@ -190,34 +349,47 @@ class FileQueue:
             index = self._task_index(lease)
             if index is None:
                 continue
-            if index in recorded:
+            heartbeat = self.heartbeat_path(lease)
+            if index in done:
                 self._unlink(lease)
+                self._unlink(heartbeat)
                 continue
             try:
-                age = now - lease.stat().st_mtime
+                fresh = lease.stat().st_mtime
             except OSError:  # the worker just finished or got requeued
                 continue
-            if age < lease_timeout_s:
+            with contextlib.suppress(OSError):
+                fresh = max(fresh, heartbeat.stat().st_mtime)
+            if now - fresh < lease_timeout_s:
                 continue
             try:
                 os.rename(lease, self._task_path(self.tasks_dir, index))
-                requeued.append(index)
             except OSError:
                 continue
+            self._unlink(heartbeat)
+            requeued.append(index)
         return requeued
 
-    def failures(self) -> Dict[int, str]:
-        """Failed shard indices mapped to their recorded error text."""
-        failures: Dict[int, str] = {}
-        for path in self._entries(self.failed_dir):
-            index = self._task_index(path)
-            if index is None:
-                continue
-            try:
-                failures[index] = path.read_text(encoding="utf-8")
-            except OSError:
-                continue
-        return failures
+    def speculate(self, shard: ShardSpec) -> None:
+        """Re-enqueue a *leased* shard's task (straggler re-dispatch).
+
+        The straggler keeps its lease and keeps running; another worker can
+        claim the duplicate task and race it.  Records are bit-identical, so
+        whichever lands first wins and the loser's write is a no-op.
+        """
+        write_atomic(self._task_path(self.tasks_dir, shard.index),
+                     shard.to_json() + "\n")
+
+    def retire(self, index: int) -> None:
+        """Drop every queue artifact of a finished (or quarantined) shard."""
+        lease = self._task_path(self.leases_dir, index)
+        self._unlink(self._task_path(self.tasks_dir, index))
+        self._unlink(lease)
+        self._unlink(self.heartbeat_path(lease))
+
+    def leases(self) -> List[Path]:
+        """The currently claimed lease files (heartbeats excluded)."""
+        return self._entries(self.leases_dir)
 
     def destroy(self) -> None:
         """Remove the queue directory (after a fully-landed campaign)."""
@@ -229,14 +401,29 @@ class FileQueue:
         """True once the coordinator has finished enqueueing tasks."""
         return self.ready_marker.exists()
 
+    def load_retry(self) -> RetryPolicy:
+        """The queue's retry policy (the default for pre-policy queues)."""
+        try:
+            return RetryPolicy.load_json(self.retry_path)
+        except (OSError, ValueError):
+            return RetryPolicy()
+
     def claim(self) -> Optional[Path]:
         """Claim one pending task via atomic rename; ``None`` when empty.
 
         The returned path is the caller's lease file: it holds the shard
-        spec, and its existence (with a fresh mtime) is what keeps the
-        coordinator from re-queueing the shard.
+        spec, and its existence (with a fresh mtime, kept alive by
+        :meth:`beat`) is what keeps the coordinator from re-queueing the
+        shard.  Tasks deferred into the future by retry backoff are skipped
+        until their time arrives.
         """
+        now = time.time()
         for task in self._entries(self.tasks_dir):
+            try:
+                if task.stat().st_mtime > now:
+                    continue  # a retry still waiting out its backoff
+            except OSError:  # claimed (or retired) under us
+                continue
             lease = self.leases_dir / task.name
             try:
                 os.rename(task, lease)
@@ -247,35 +434,67 @@ class FileQueue:
             # late in a long campaign look instantly expired.
             with contextlib.suppress(OSError):
                 os.utime(lease)
+            # A previous holder's heartbeat must not vouch for us.
+            self._unlink(self.heartbeat_path(lease))
             return lease
         return None
+
+    def beat(self, lease: Path) -> None:
+        """Refresh the lease's heartbeat (atomic; liveness is the mtime)."""
+        with contextlib.suppress(OSError):
+            write_atomic(self.heartbeat_path(lease), f"{time.time():.3f}\n",
+                         durable=False)
 
     def release(self, lease: Path) -> None:
         """Drop a lease after its record landed (missing is fine)."""
         self._unlink(lease)
+        self._unlink(self.heartbeat_path(lease))
 
-    def record_failure(self, lease: Path, error: str) -> None:
-        """Move a lease to ``failed/`` with the error text (terminal state)."""
-        self.failed_dir.mkdir(parents=True, exist_ok=True)
-        failed = self.failed_dir / lease.name
-        with contextlib.suppress(OSError):
-            # Diagnostic traceback for a terminally failed shard; the
-            # failure signal is the file's *existence*, so a torn body only
-            # truncates the message, never corrupts campaign state.
-            failed.write_text(error, encoding="utf-8")  # repro-lint: disable=atomic-write
+    def requeue_with_backoff(self, lease: Path, delay_s: float) -> None:
+        """Return a failed lease to the queue, deferred by ``delay_s``.
+
+        The shard's task file is rewritten atomically with its mtime pushed
+        ``delay_s`` into the future, which :meth:`claim` honours as
+        "not claimable yet" — backoff without making any worker sleep.  The
+        task is written before the lease is dropped, so a crash in between
+        leaves both (harmless: the claim rename simply replaces the stale
+        lease) rather than neither.
+        """
+        try:
+            text = lease.read_text(encoding="utf-8")
+        except OSError:  # the coordinator re-queued it under us
+            return
+        task = self.tasks_dir / lease.name
+        write_atomic(task, text)
+        if delay_s > 0:
+            due = time.time() + delay_s
+            with contextlib.suppress(OSError):
+                os.utime(task, (due, due))
         self._unlink(lease)
+        self._unlink(self.heartbeat_path(lease))
 
     @property
     def empty(self) -> bool:
         """True when no task is pending or claimed."""
-        return not self._entries(self.tasks_dir) and not self._entries(self.leases_dir)
+        return (not self._entries(self.tasks_dir)
+                and not self._entries(self.leases_dir))
 
     @property
     def has_pending_tasks(self) -> bool:
-        """True while unclaimed tasks exist (claimed leases do not count)."""
+        """True while unclaimed tasks exist (claimed leases do not count).
+
+        Backoff-deferred tasks count: they will become claimable without any
+        coordinator action, so an ``--exit-when-empty`` worker must not exit
+        while one exists.
+        """
         return bool(self._entries(self.tasks_dir))
 
     # --------------------------------------------------------------- internals
+    @staticmethod
+    def heartbeat_path(lease: Path) -> Path:
+        """The heartbeat beacon beside a lease (or task) file."""
+        return lease.with_suffix(".heartbeat")
+
     @staticmethod
     def _task_path(directory: Path, index: int) -> Path:
         return directory / f"task-{index:05d}.json"
@@ -289,9 +508,12 @@ class FileQueue:
 
     @staticmethod
     def _entries(directory: Path) -> List[Path]:
+        # The suffix filter keeps heartbeat beacons (task-00042.heartbeat)
+        # out of the task/lease listings.
         try:
             return sorted(path for path in directory.iterdir()
-                          if path.name.startswith("task-"))
+                          if path.name.startswith("task-")
+                          and path.suffix == ".json")
         except OSError:
             return []
 
@@ -307,26 +529,49 @@ class FileQueueBackend(ExecutorBackend):
     ``workers`` local worker processes are spawned for convenience (``0``
     means the operator runs every worker externally — other terminals, other
     hosts).  The coordinator itself executes nothing: it enqueues tasks,
-    polls the store for landed records, re-queues expired leases, and keeps
-    the spawned worker population alive until the campaign drains.
+    polls the store for landed records and quarantined shards, re-queues
+    leases whose heartbeat went stale, speculatively re-dispatches stragglers
+    near the tail, and keeps the spawned worker population alive until the
+    campaign drains.
     """
 
     name = "file-queue"
 
     def __init__(self, workers: int = 0, lease_timeout_s: float = 60.0,
                  poll_s: float = 0.2, timeout_s: Optional[float] = None,
-                 keep_queue: bool = False) -> None:
+                 keep_queue: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 heartbeat_s: Optional[float] = None,
+                 speculate_factor: float = 3.0,
+                 speculate_tail_frac: float = 0.1,
+                 speculate_min_records: int = 3) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if lease_timeout_s <= 0:
             raise ValueError("lease_timeout_s must be positive")
         if poll_s <= 0:
             raise ValueError("poll_s must be positive")
+        if heartbeat_s is None:
+            # Several beats per lease timeout, without busy-writing.
+            heartbeat_s = max(0.05, min(5.0, lease_timeout_s / 4.0))
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        if speculate_factor <= 0:
+            raise ValueError("speculate_factor must be positive")
+        if not 0 < speculate_tail_frac <= 1:
+            raise ValueError("speculate_tail_frac must be in (0, 1]")
+        if speculate_min_records < 1:
+            raise ValueError("speculate_min_records must be at least 1")
         self.workers = workers
         self.lease_timeout_s = lease_timeout_s
         self.poll_s = poll_s
         self.timeout_s = timeout_s
         self.keep_queue = keep_queue
+        self.retry = retry
+        self.heartbeat_s = heartbeat_s
+        self.speculate_factor = speculate_factor
+        self.speculate_tail_frac = speculate_tail_frac
+        self.speculate_min_records = speculate_min_records
 
     # ---------------------------------------------------------------- spawning
     def _spawn_worker(self, store: ResultStore, ordinal: int) -> subprocess.Popen:
@@ -334,21 +579,69 @@ class FileQueueBackend(ExecutorBackend):
         log_path.parent.mkdir(parents=True, exist_ok=True)
         command = [sys.executable, "-m", "repro", "worker",
                    "--queue", str(store.root), "--exit-when-empty",
-                   "--poll", str(self.poll_s)]
+                   "--poll", str(self.poll_s),
+                   "--heartbeat", str(self.heartbeat_s)]
         with open(log_path, "ab") as log:
             return subprocess.Popen(command, stdout=log, stderr=log,
                                     stdin=subprocess.DEVNULL)
 
+    # ------------------------------------------------------------- speculation
+    def _respeculate(self, queue: FileQueue,
+                     by_index: Dict[int, ShardSpec], missing: Set[int],
+                     elapsed: List[float], total: int,
+                     speculated: Set[int]) -> None:
+        """Re-dispatch tail stragglers running far beyond the median.
+
+        Only in the campaign tail (at most ``speculate_tail_frac`` of the
+        shards still missing), only with enough completed shards for the
+        median to mean something, and at most once per shard — speculation
+        trades a duplicate execution for tail latency, and an unbounded
+        version would stampede the queue.
+        """
+        if len(missing) > max(1, int(self.speculate_tail_frac * total)):
+            return
+        if len(elapsed) < self.speculate_min_records:
+            return
+        median = statistics.median(elapsed)
+        if median <= 0:
+            return
+        threshold = self.speculate_factor * median
+        now = time.time()
+        for lease in queue.leases():
+            index = queue._task_index(lease)
+            if index is None or index not in missing or index in speculated:
+                continue
+            try:
+                runtime = now - lease.stat().st_mtime
+            except OSError:
+                continue
+            if runtime <= threshold:
+                continue
+            shard = by_index.get(index)
+            if shard is None:
+                continue
+            if queue._task_path(queue.tasks_dir, index).exists():
+                continue  # already back in the queue (requeue or retry)
+            queue.speculate(shard)
+            speculated.add(index)
+
     # --------------------------------------------------------------- execution
     def execute(self, spec: CampaignSpec, pending: Sequence[ShardSpec],
-                land: LandCallback, store: Optional[ResultStore]) -> None:
+                land: LandCallback, store: Optional[ResultStore],
+                park: Optional[ParkCallback] = None) -> None:
         if store is None:
             raise ValueError(
                 "the file-queue backend needs a result store: workers "
                 "communicate through it (pass store=/--out)")
+        retry = self.retry if self.retry is not None else RetryPolicy()
         queue = FileQueue(store.root)
-        queue.build(pending)
-        missing: Set[int] = {shard.index for shard in pending}
+        queue.build(pending, retry=retry)
+        by_index = {shard.index: shard for shard in pending}
+        total = len(pending)
+        missing: Set[int] = set(by_index)
+        quarantined: Set[int] = set()
+        speculated: Set[int] = set()
+        elapsed: List[float] = []
         procs: List[subprocess.Popen] = []
         spawned = 0
         deadline = (time.monotonic() + self.timeout_s
@@ -362,21 +655,27 @@ class FileQueueBackend(ExecutorBackend):
                 # filesystem); land newly persisted records from it.
                 recorded = set(store.record_indices())
                 for index in sorted(recorded & missing):
-                    land(store.load_record(index), persisted=True)
+                    record = store.load_record(index)
+                    land(record, persisted=True)
+                    elapsed.append(record.elapsed_s)
                     missing.discard(index)
+                    queue.retire(index)
+                # Workers park shards that exhausted the retry budget in the
+                # store's quarantine; stop waiting for those shards (the
+                # engine decides whether quarantine fails the run).
+                for index in sorted(set(store.quarantined_indices()) & missing):
+                    if park is not None:
+                        park(store.load_quarantine_entry(index),
+                             persisted=True)
+                    missing.discard(index)
+                    quarantined.add(index)
+                    queue.retire(index)
                 if not missing:
                     break
-                # A failure marker for a still-missing shard is terminal:
-                # the worker moved the task out of circulation, so waiting
-                # longer cannot produce a record.
-                failures = queue.failures()
-                terminal = sorted(set(failures) & missing)
-                if terminal:
-                    raise ShardFailure(
-                        f"{len(terminal)} shard(s) failed under the file-queue "
-                        f"backend (first: shard {terminal[0]}):\n"
-                        + failures[terminal[0]])
-                queue.requeue_expired(self.lease_timeout_s, recorded=recorded)
+                queue.requeue_expired(self.lease_timeout_s,
+                                      done=recorded | quarantined)
+                self._respeculate(queue, by_index, missing, elapsed, total,
+                                  speculated)
                 # Keep the spawned population at strength while *unclaimed*
                 # tasks exist (a crashed worker's requeued shards must never
                 # wait on an operator).  Leases alone spawn nothing: spawned
@@ -402,20 +701,31 @@ class FileQueueBackend(ExecutorBackend):
                     proc.wait(timeout=5)
                 except subprocess.TimeoutExpired:
                     proc.kill()
+        if park is None and quarantined:
+            # Direct callers without a park callback keep fail-fast
+            # semantics; the queue survives for diagnosis.
+            entries = {index: store.load_quarantine_entry(index)
+                       for index in sorted(quarantined)}
+            raise ShardFailure(quarantine_summary(entries, store))
         if not self.keep_queue:
             queue.destroy()
 
 
 #: Backend factories by CLI name (did-you-mean errors on miss).
 BACKENDS: Registry[Callable[..., ExecutorBackend]] = Registry("executor backend")
-BACKENDS.register("serial", lambda workers=1, **_: SerialBackend())
-BACKENDS.register("pool", lambda workers=2, **_: ProcessPoolBackend(workers=workers),
+BACKENDS.register("serial",
+                  lambda workers=1, retry=None, **_: SerialBackend(retry=retry))
+BACKENDS.register("pool",
+                  lambda workers=2, retry=None, **_:
+                      ProcessPoolBackend(workers=workers, retry=retry),
                   aliases=("process-pool", "processpool"))
 BACKENDS.register(
     "file-queue",
-    lambda workers=0, lease_timeout_s=60.0, poll_s=0.2, timeout_s=None, **_:
+    lambda workers=0, lease_timeout_s=60.0, poll_s=0.2, timeout_s=None,
+           retry=None, heartbeat_s=None, **_:
         FileQueueBackend(workers=workers, lease_timeout_s=lease_timeout_s,
-                         poll_s=poll_s, timeout_s=timeout_s),
+                         poll_s=poll_s, timeout_s=timeout_s, retry=retry,
+                         heartbeat_s=heartbeat_s),
     aliases=("filequeue", "fq"))
 
 

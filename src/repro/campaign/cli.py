@@ -32,6 +32,7 @@ from repro.campaign.adapters import CAMPAIGNS, get_adapter
 from repro.campaign.backends import ExecutorBackend, make_backend
 from repro.campaign.engine import ProgressCallback, run_campaign
 from repro.campaign.progress import CampaignProgress
+from repro.campaign.retry import RetryPolicy
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore, ShardRecord
 
@@ -179,6 +180,17 @@ def _choose_progress(spec: CampaignSpec,
     return _progress
 
 
+def _retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    """The --max-attempts override as a policy (None keeps the default)."""
+    attempts = getattr(args, "max_attempts", None)
+    if attempts is None:
+        return None
+    try:
+        return RetryPolicy(max_attempts=attempts)
+    except ValueError as error:
+        raise SystemExit(f"--max-attempts: {error}") from error
+
+
 def _build_backend(args: argparse.Namespace) -> Optional[ExecutorBackend]:
     """The explicit --backend choice (None defers to the workers heuristic)."""
     name = getattr(args, "backend", None)
@@ -186,7 +198,8 @@ def _build_backend(args: argparse.Namespace) -> Optional[ExecutorBackend]:
         return None
     try:
         return make_backend(name, workers=args.workers,
-                            lease_timeout_s=args.lease_timeout)
+                            lease_timeout_s=args.lease_timeout,
+                            retry=_retry_policy(args))
     except KeyError as error:
         raise SystemExit(
             str(error.args[0]) if error.args else str(error)) from error
@@ -196,13 +209,29 @@ def _finish_campaign(spec: CampaignSpec, args: argparse.Namespace) -> int:
     store = ResultStore(args.out) if args.out else None
     run = run_campaign(spec, workers=args.workers, store=store,
                        progress=_choose_progress(spec, args),
-                       backend=_build_backend(args))
+                       backend=_build_backend(args),
+                       retry=_retry_policy(args),
+                       strict=getattr(args, "strict", False))
     _print(f"campaign {spec.name!r} ({spec.experiment}): "
            f"{len(run.records)} shard(s), {run.executed} executed, "
            f"{len(run.results)} replicate(s)")
     if store is not None:
         _print(f"result store: {store.root}")
-        _print(f"merged result: {store.merged_path}")
+        if run.complete:
+            _print(f"merged result: {store.merged_path}")
+    if run.quarantined:
+        _print(f"QUARANTINED: {len(run.quarantined)} shard(s) exhausted "
+               "their retry budget; merged.json withheld")
+        for entry in run.quarantined:
+            where = (store.quarantine_path(entry.index) if store is not None
+                     else "(in-memory)")
+            _print(f"  shard {entry.index}: {entry.attempts} attempt(s) "
+                   f"[{where}]")
+        if store is not None:
+            _print(f"re-attempt them with: python -m repro resume {store.root}")
+        # Replicate numbering no longer lines up once replicates are
+        # skipped; the partial results stay available programmatically.
+        return 1
     for replicate, result in enumerate(run.results):
         seed = spec.replicate_seeds()[replicate]
         _print_result(result, f"--- replicate {replicate} (seed {seed}) ---")
@@ -276,16 +305,27 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.campaign.worker import run_worker
+    import os
 
+    from repro.campaign.faults import ENV_FAULT_PLAN
+    from repro.campaign.worker import EXIT_STARTUP_TIMEOUT, run_worker
+
+    if args.fault_plan:
+        # The env var is the activation mechanism (inherited by everything
+        # the worker runs); the flag is its CLI spelling.
+        os.environ[ENV_FAULT_PLAN] = args.fault_plan
     try:
-        run_worker(args.queue, poll_s=args.poll, max_shards=args.max_shards,
-                   exit_when_empty=args.exit_when_empty,
-                   startup_timeout_s=args.startup_timeout, quiet=args.quiet)
+        result = run_worker(args.queue, poll_s=args.poll,
+                            max_shards=args.max_shards,
+                            exit_when_empty=args.exit_when_empty,
+                            startup_timeout_s=args.startup_timeout,
+                            heartbeat_s=args.heartbeat,
+                            worker_id=args.worker_id, quiet=args.quiet)
     except TimeoutError as error:
         # A typo'd --queue must not look like a successful drain.
-        raise SystemExit(f"worker: {error}") from error
-    return 0
+        sys.stderr.write(f"worker: {error}\n")
+        return EXIT_STARTUP_TIMEOUT
+    return result.exit_code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -317,8 +357,16 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
                         help="executor backend: serial, pool, or file-queue "
                              "(default: serial for --workers 1, else pool)")
     parser.add_argument("--lease-timeout", type=float, default=60.0,
-                        help="file-queue: seconds before an unfinished "
-                             "worker claim is re-queued (default 60)")
+                        help="file-queue: seconds a claim may go without a "
+                             "heartbeat before it is re-queued (default 60)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="executions allowed per shard before it is "
+                             "quarantined (default 3; 1 disables retrying)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail the campaign when any shard exhausts its "
+                             "retry budget, instead of quarantining it and "
+                             "merging what completed")
     parser.add_argument("--progress", action="store_true",
                         help="campaign-level progress lines "
                              "(completed/total, throughput, ETA)")
@@ -371,7 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker = commands.add_parser(
         "worker",
-        help="file-queue worker: claim and execute shards from a campaign store")
+        help="file-queue worker: claim and execute shards from a campaign store",
+        description="File-queue worker: claim and execute shards from a "
+                    "campaign store. Exit codes: 0 queue drained cleanly; "
+                    "3 the queue never became ready within --startup-timeout; "
+                    "4 at least one shard exhausted its retry budget and was "
+                    "quarantined by this worker.")
     worker.add_argument("--queue", required=True, metavar="DIR",
                         help="the campaign's result-store directory (its --out)")
     worker.add_argument("--poll", type=float, default=0.2,
@@ -383,7 +436,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "(instead of waiting for more work)")
     worker.add_argument("--startup-timeout", type=float, default=60.0,
                         help="with --exit-when-empty, how long to wait for "
-                             "the queue to appear (default 60s)")
+                             "the queue to appear (default 60s; expiry exits "
+                             "with code 3)")
+    worker.add_argument("--heartbeat", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="interval between lease-heartbeat touches while "
+                             "executing a shard (default 1.0; keep well "
+                             "under the coordinator's --lease-timeout)")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="identity recorded in quarantine entries and "
+                             "matched by worker-addressed faults "
+                             "(default: $REPRO_WORKER_ID or <host>-<pid>)")
+    worker.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="activate a deterministic fault-injection plan "
+                             "(JSON; equivalent to setting $REPRO_FAULT_PLAN) "
+                             "— chaos testing only")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-shard worker logs")
     worker.set_defaults(handler=_cmd_worker)

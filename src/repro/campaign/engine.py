@@ -28,11 +28,20 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.adapters import CampaignAdapter, get_adapter
-from repro.campaign.backends import ExecutorBackend, ProcessPoolBackend, SerialBackend
+from repro.campaign.backends import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardFailure,
+    quarantine_summary,
+)
+from repro.campaign.faults import FaultInjector
 from repro.campaign.progress import CampaignProgress
+from repro.campaign.retry import RetryPolicy
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.campaign.store import (
     CampaignResult,
+    QuarantineEntry,
     ResultStore,
     ShardRecord,
     StoreMismatchError,
@@ -53,14 +62,23 @@ class CampaignRun:
     #: One record per shard, in canonical shard-index order.
     records: Tuple[ShardRecord, ...]
     #: One merged experiment result per seed replicate (typed dataclasses).
+    #: With quarantined shards, only the replicates whose every shard landed
+    #: are merged — a partial replicate would silently change its result.
     results: Tuple[Any, ...]
     #: How many shards were actually executed (the rest came from the store).
     executed: int
+    #: Shards parked after exhausting the retry budget (empty on a clean run).
+    quarantined: Tuple[QuarantineEntry, ...] = ()
 
     @property
     def result(self) -> Any:
         """The merged result of the first (often only) replicate."""
         return self.results[0]
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard landed (nothing quarantined)."""
+        return not self.quarantined
 
     def campaign_result(self) -> CampaignResult:
         """The merged artifact in its persistable form."""
@@ -74,7 +92,16 @@ class CampaignRun:
 
 
 def execute_shard(spec: CampaignSpec, shard: ShardSpec) -> ShardRecord:
-    """Run one shard and wrap its payload in a :class:`ShardRecord`."""
+    """Run one shard and wrap its payload in a :class:`ShardRecord`.
+
+    This is the chaos seam shared by *every* backend: when a fault plan is
+    active (``$REPRO_FAULT_PLAN``), injected hangs and transient failures
+    fire here — before the adapter runs — so serial, pool, and file-queue
+    executions all exercise the same retry machinery.
+    """
+    injector = FaultInjector.from_env()
+    if injector is not None:
+        injector.on_execute(shard.index)
     adapter = get_adapter(spec.experiment)
     start = time.perf_counter()
     payload = adapter.run_shard(spec, shard)
@@ -97,17 +124,22 @@ def _shard_task(spec_data: Dict[str, Any], shard_data: Dict[str, Any]) -> Dict[s
     return execute_shard(spec, shard).to_dict()
 
 
-def default_backend(workers: int) -> ExecutorBackend:
+def default_backend(workers: int,
+                    retry: Optional[RetryPolicy] = None) -> ExecutorBackend:
     """The historical worker-count behaviour as a backend choice."""
     if workers < 1:
         raise ValueError("workers must be at least 1")
-    return SerialBackend() if workers == 1 else ProcessPoolBackend(workers)
+    if workers == 1:
+        return SerialBackend(retry=retry)
+    return ProcessPoolBackend(workers, retry=retry)
 
 
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  store: Optional[ResultStore] = None,
                  progress: Optional[ProgressCallback] = None,
-                 backend: Optional[ExecutorBackend] = None) -> CampaignRun:
+                 backend: Optional[ExecutorBackend] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 strict: bool = False) -> CampaignRun:
     """Execute a campaign and merge its shards into experiment results.
 
     Parameters
@@ -128,9 +160,19 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     backend:
         Explicit executor backend; overrides the ``workers`` heuristic.  The
         merged result is bit-identical whichever backend runs the shards.
+    retry:
+        Retry budget/backoff for failing shards when no explicit ``backend``
+        is given (an explicit backend carries its own policy).
+    strict:
+        Fail the run (one aggregated :class:`ShardFailure` listing *every*
+        parked shard) when any shard exhausts its retry budget.  The default
+        parks such shards in the store's quarantine, merges the complete
+        replicates, withholds ``merged.json``, and returns normally with
+        :attr:`CampaignRun.quarantined` populated — so one poison shard
+        cannot throw away a night of fleet work.
     """
     if backend is None:
-        backend = default_backend(workers)
+        backend = default_backend(workers, retry=retry)
     adapter = get_adapter(spec.experiment)
     # An axis the shard runner does not understand would silently multiply
     # shards and desynchronise the serial-slice arithmetic; fail instead.
@@ -169,27 +211,57 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         if progress is not None:
             progress(completed, total, record)
 
-    if pending:
-        backend.execute(spec, pending, _land, store)
+    parked: Dict[int, QuarantineEntry] = {}
 
-    ordered = [records[shard.index] for shard in shards]
-    results = _merge(adapter, spec, ordered)
+    def _park(entry: QuarantineEntry, persisted: bool = False) -> None:
+        parked[entry.index] = entry
+        if store is not None and not persisted:
+            store.save_quarantine(entry)
+
+    if pending:
+        if store is not None:
+            # A fresh execution (including a resume) re-attempts previously
+            # quarantined shards with a fresh budget.
+            store.clear_quarantine()
+            store.clear_attempts()
+        backend.execute(spec, pending, _land, store, _park)
+
+    if parked and strict:
+        raise ShardFailure(quarantine_summary(parked, store))
+
+    executed = len(pending) - len(parked)
+    ordered = [records[shard.index] for shard in shards
+               if shard.index in records]
+    results = _merge(adapter, spec, ordered,
+                     complete_only=bool(parked), shards=shards)
     run = CampaignRun(spec=spec, records=tuple(ordered), results=results,
-                      executed=len(pending))
+                      executed=executed,
+                      quarantined=tuple(parked[index]
+                                        for index in sorted(parked)))
     if store is not None:
-        store.save_merged(run.campaign_result())
+        # merged.json is the bit-identity artifact; a quarantined campaign
+        # must never masquerade as it.
+        if not parked:
+            store.save_merged(run.campaign_result())
         store.save_progress(tracker.snapshot())
     return run
 
 
 def _merge(adapter: CampaignAdapter, spec: CampaignSpec,
-           ordered: List[ShardRecord]) -> Tuple[Any, ...]:
+           ordered: List[ShardRecord], complete_only: bool = False,
+           shards: Optional[List[ShardSpec]] = None) -> Tuple[Any, ...]:
     """Reduce records into one typed result per replicate.
 
     Every payload is revived from its JSON form — including records that
     never left the parent process — so the merge input is canonical no
-    matter where a shard ran.
+    matter where a shard ran.  With ``complete_only`` (a quarantined run),
+    replicates missing any of their planned shards are skipped entirely:
+    merging a partial replicate would silently change its result.
     """
+    planned: Dict[int, int] = {}
+    if complete_only and shards is not None:
+        for shard in shards:
+            planned[shard.replicate] = planned.get(shard.replicate, 0) + 1
     by_replicate: Dict[int, List[ShardRecord]] = {}
     for record in ordered:
         by_replicate.setdefault(record.replicate, []).append(record)
@@ -197,6 +269,8 @@ def _merge(adapter: CampaignAdapter, spec: CampaignSpec,
     for replicate in sorted(by_replicate):
         replicate_records = sorted(by_replicate[replicate],
                                    key=lambda record: record.point)
+        if complete_only and len(replicate_records) < planned.get(replicate, 0):
+            continue
         payloads = [from_jsonable(adapter.shard_type, record.result)
                     for record in replicate_records]
         results.append(adapter.merge(spec, payloads))

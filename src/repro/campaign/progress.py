@@ -15,8 +15,10 @@ poison the rate estimate.
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 __all__ = ["CampaignProgress", "format_duration"]
 
@@ -50,6 +52,28 @@ class CampaignProgress:
         #: Shards executed by this run (drives throughput/ETA).
         self.executed = 0
         self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------ loading
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+        """Read a ``progress.json`` heartbeat, tolerating torn files.
+
+        The heartbeat is rewritten every shard; a ``--progress`` follower (or
+        any store reader on a network filesystem) can catch it mid-rewrite.
+        A missing, vanished, or half-visible document reads as ``None`` —
+        "no heartbeat yet" — and the follower simply retries next poll.
+        """
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(data, dict):
+            return None
+        return data
 
     # ------------------------------------------------------------------ updates
     def record_completed(self, completed: Optional[int] = None) -> None:

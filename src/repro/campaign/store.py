@@ -10,7 +10,17 @@ One directory per campaign run:
   half-written or vanishing record behind;
 * ``progress.json`` — the engine's campaign-progress heartbeat (completed /
   total shards, throughput, ETA); informational only, never merged;
-* ``merged.json`` — the merged :class:`CampaignResult` once every shard is in.
+* ``attempts/shard-00042.json`` — per-shard failed-attempt counts (and the
+  last traceback) written by whichever process holds the shard, so the retry
+  budget survives worker crashes and re-queues;
+* ``quarantine/shard-00042.json`` — one :class:`QuarantineEntry` per shard
+  that exhausted its :class:`~repro.campaign.retry.RetryPolicy` budget: the
+  shard's spec, attempt count, and full traceback.  Quarantined shards do not
+  fail the campaign (unless ``strict``); a later ``resume`` clears the
+  quarantine and re-attempts them with a fresh budget;
+* ``merged.json`` — the merged :class:`CampaignResult` once every shard is in
+  (withheld while any shard sits in quarantine, so a partial campaign can
+  never masquerade as the bit-identical artifact).
 
 Resuming is skip-on-record: the engine re-plans the shard list from the spec,
 loads whatever records already exist, validates them against the plan (a spec
@@ -23,6 +33,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,8 +42,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 from repro.campaign.spec import CampaignSpec, ShardSpec
 from repro.utils.serde import JsonSerializable
 
-__all__ = ["CampaignResult", "ResultStore", "ShardRecord", "StoreMismatchError",
-           "fsync_directory"]
+__all__ = ["CampaignResult", "QuarantineEntry", "ResultStore", "ShardRecord",
+           "StoreMismatchError", "fsync_directory", "write_atomic"]
 
 
 class StoreMismatchError(RuntimeError):
@@ -59,6 +70,22 @@ class ShardRecord(JsonSerializable):
         return (self.index == shard.index and self.point == shard.point
                 and self.replicate == shard.replicate
                 and self.seed == shard.seed and self.params == shard.params)
+
+
+@dataclass(frozen=True)
+class QuarantineEntry(JsonSerializable):
+    """One shard parked after exhausting its retry budget.
+
+    Carries everything an operator needs to diagnose and re-run the shard:
+    the shard's spec (as plain JSON), how many attempts were burned, the last
+    traceback, and which worker gave up on it.
+    """
+
+    index: int
+    attempts: int
+    error: str
+    worker: Optional[str] = None
+    shard: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -98,6 +125,34 @@ def fsync_directory(path: Path) -> None:
         os.close(fd)
 
 
+def write_atomic(path: Path, text: str, durable: bool = True) -> Path:
+    """Write ``text`` to ``path`` atomically (same-directory temp file).
+
+    ``durable`` writes additionally fsync the file before the rename and the
+    directory after it, so the artifact survives a host crash.  This is the
+    one write idiom the campaign package uses for everything a reader might
+    observe live: records, quarantine entries, attempt counters, heartbeat
+    touches, speculative task files.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent,
+                                         prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(temp_name, path)
+        if durable:
+            fsync_directory(path.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp_name)
+        raise
+    return path
+
+
 class ResultStore:
     """Directory-backed persistence for one campaign run."""
 
@@ -105,10 +160,14 @@ class ResultStore:
     MERGED_FILE = "merged.json"
     PROGRESS_FILE = "progress.json"
     SHARD_DIR = "shards"
+    QUARANTINE_DIR = "quarantine"
+    ATTEMPTS_DIR = "attempts"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.shard_dir = self.root / self.SHARD_DIR
+        self.quarantine_dir = self.root / self.QUARANTINE_DIR
+        self.attempts_dir = self.root / self.ATTEMPTS_DIR
 
     # ------------------------------------------------------------------ paths
     @property
@@ -126,33 +185,20 @@ class ResultStore:
     def shard_path(self, index: int) -> Path:
         return self.shard_dir / f"shard-{index:05d}.json"
 
+    def quarantine_path(self, index: int) -> Path:
+        return self.quarantine_dir / f"shard-{index:05d}.json"
+
+    def attempts_path(self, index: int) -> Path:
+        return self.attempts_dir / f"shard-{index:05d}.json"
+
     # ---------------------------------------------------------------- writing
     def _write_atomic(self, path: Path, text: str, durable: bool = True) -> Path:
-        """Write ``text`` to ``path`` atomically (same-directory temp file).
+        """Atomic (and, by default, durable) write — see :func:`write_atomic`.
 
-        ``durable`` writes additionally fsync the file before the rename and
-        the directory after it, so a completed record survives a host crash —
-        the property the file-queue backend's shared-filesystem workers rely
-        on.  The progress heartbeat opts out: it is rewritten every shard and
-        losing it costs nothing.
+        The progress heartbeat opts out of durability: it is rewritten every
+        shard and losing it costs nothing.
         """
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(dir=path.parent,
-                                             prefix=path.name + ".", suffix=".tmp")
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as fh:
-                fh.write(text)
-                if durable:
-                    fh.flush()
-                    os.fsync(fh.fileno())
-            os.replace(temp_name, path)
-            if durable:
-                fsync_directory(path.parent)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(temp_name)
-            raise
-        return path
+        return write_atomic(path, text, durable=durable)
 
     def save_spec(self, spec: CampaignSpec) -> None:
         """Persist the spec, validating against any spec already stored."""
@@ -181,6 +227,34 @@ class ResultStore:
                                   json.dumps(snapshot, indent=2) + "\n",
                                   durable=False)
 
+    def save_quarantine(self, entry: QuarantineEntry) -> Path:
+        """Durably park one shard that exhausted its retry budget."""
+        return self._write_atomic(self.quarantine_path(entry.index),
+                                  entry.to_json() + "\n")
+
+    def clear_quarantine(self) -> None:
+        """Drop every quarantine entry (a resume re-attempts the shards)."""
+        shutil.rmtree(self.quarantine_dir, ignore_errors=True)
+
+    def bump_attempts(self, index: int, error: str) -> int:
+        """Record one more failed attempt for a shard; returns the new count.
+
+        Only the process holding the shard's lease (or the in-process
+        backend) writes a given shard's counter, so read-modify-write is
+        race-free; the write itself is atomic so a crash mid-bump leaves the
+        previous count, never a torn file.
+        """
+        attempts = self.load_attempts(index) + 1
+        self._write_atomic(
+            self.attempts_path(index),
+            json.dumps({"index": index, "attempts": attempts, "error": error},
+                       indent=2) + "\n")
+        return attempts
+
+    def clear_attempts(self) -> None:
+        """Reset every per-shard attempt counter (fresh budget on resume)."""
+        shutil.rmtree(self.attempts_dir, ignore_errors=True)
+
     # ---------------------------------------------------------------- reading
     def load_spec(self) -> Optional[CampaignSpec]:
         """The stored spec, or ``None`` for a fresh directory."""
@@ -205,10 +279,53 @@ class ResultStore:
         return ShardRecord.load_json(self.shard_path(index))
 
     def load_progress(self) -> Optional[Dict[str, Any]]:
-        """The last progress heartbeat, or ``None`` when never written."""
-        if not self.progress_path.exists():
-            return None
-        return json.loads(self.progress_path.read_text(encoding="utf-8"))
+        """The last progress heartbeat, or ``None`` when never written.
+
+        Torn-file-safe: the heartbeat is rewritten constantly (and the store
+        may sit on a network filesystem whose readers can observe partial
+        content), so a half-visible document reads as "no heartbeat yet"
+        instead of crashing a ``--progress`` follower mid-rewrite.
+        """
+        from repro.campaign.progress import CampaignProgress
+
+        return CampaignProgress.load(self.progress_path)
+
+    def load_quarantine_entry(self, index: int) -> QuarantineEntry:
+        """One quarantined shard's entry by index."""
+        return QuarantineEntry.load_json(self.quarantine_path(index))
+
+    def load_quarantine(self) -> Dict[int, QuarantineEntry]:
+        """All quarantined shards, keyed by shard index."""
+        return {index: self.load_quarantine_entry(index)
+                for index in self.quarantined_indices()}
+
+    def load_attempts(self, index: int) -> int:
+        """Failed-attempt count for a shard (0 when never failed / torn)."""
+        try:
+            data = json.loads(
+                self.attempts_path(index).read_text(encoding="utf-8"))
+            return int(data["attempts"])
+        except (OSError, ValueError, TypeError, KeyError,
+                json.JSONDecodeError):
+            return 0
+
+    def attempt_counts(self) -> Dict[int, int]:
+        """Every shard's failed-attempt count, keyed by shard index."""
+        return {index: self.load_attempts(index)
+                for index in self._indices_in(self.attempts_dir)}
+
+    @staticmethod
+    def _indices_in(directory: Path) -> Tuple[int, ...]:
+        """Shard indices named by ``shard-*.json`` entries of a directory."""
+        if not directory.exists():
+            return ()
+        indices = []
+        for path in directory.glob("shard-*.json"):
+            try:
+                indices.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return tuple(sorted(indices))
 
     def record_indices(self) -> Tuple[int, ...]:
         """Indices of persisted shard records without parsing their payloads.
@@ -217,15 +334,11 @@ class ResultStore:
         directory listing — reading record *contents* is deferred to
         :meth:`load_record` for only the indices that are new.
         """
-        if not self.shard_dir.exists():
-            return ()
-        indices = []
-        for path in self.shard_dir.glob("shard-*.json"):
-            try:
-                indices.append(int(path.stem.split("-", 1)[1]))
-            except (IndexError, ValueError):
-                continue
-        return tuple(sorted(indices))
+        return self._indices_in(self.shard_dir)
+
+    def quarantined_indices(self) -> Tuple[int, ...]:
+        """Indices of quarantined shards (a directory listing, poll-cheap)."""
+        return self._indices_in(self.quarantine_dir)
 
     def load_merged(self) -> Optional[CampaignResult]:
         """The merged artifact, or ``None`` when not yet written."""

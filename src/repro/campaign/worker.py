@@ -7,34 +7,109 @@ store's filesystem — drain the queue cooperatively:
 
 1. wait for the coordinator's ``ready`` marker (the queue may not exist yet);
 2. claim one task via atomic rename (``queue/tasks`` -> ``queue/leases``);
-3. execute the shard and write its record durably into ``shards/``;
-4. release the lease and go back to 2.
+3. heartbeat the lease every ``--heartbeat`` seconds while the shard runs,
+   so the coordinator can tell slow-but-alive from dead;
+4. execute the shard and write its record durably into ``shards/``;
+5. release the lease and go back to 2.
 
-A worker that dies mid-shard simply leaves its lease behind; the coordinator
-re-queues it once the lease times out.  Because shards are pure functions of
-``(spec, shard)``, a shard executed twice (a slow worker racing its own
-re-queued task) writes byte-compatible records and the merged result is
-unaffected.
+A worker that dies mid-shard leaves a lease whose heartbeat goes silent; the
+coordinator re-queues it once the staleness exceeds the lease timeout.
+Because shards are pure functions of ``(spec, shard)``, a shard executed
+twice — a re-queued crash, or a speculative straggler re-dispatch — writes
+byte-compatible records and the merged result is unaffected.
 
-Shard *failures* are terminal, not retried: the worker moves the task to
-``queue/failed`` with the traceback so the coordinator can report it instead
-of spinning the queue forever on a deterministic error.
+Shard *failures* are retried under the queue's persisted
+:class:`~repro.campaign.retry.RetryPolicy`: the worker bumps the shard's
+attempt count in the store, re-enqueues the task deferred by the policy's
+backoff, and — once the budget is exhausted — parks the shard in the store's
+``quarantine/`` directory with its traceback.  The coordinator decides
+whether quarantine fails the campaign; the worker just reports it in its
+exit code.
+
+Deterministic chaos: when ``$REPRO_FAULT_PLAN`` names a fault plan (see
+:mod:`repro.campaign.faults`), the worker injects the plan's crashes and
+heartbeat delays at the exact production seams — which is how the chaos
+suite proves every recovery path above against real subprocesses.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+import threading
 import time
 import traceback
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.campaign.backends import FileQueue
 from repro.campaign.engine import execute_shard
+from repro.campaign.faults import (
+    CRASH_EXIT_BEFORE_RECORD,
+    CRASH_EXIT_MID_WRITE,
+    ENV_WORKER_ID,
+    KIND_CRASH_MID_WRITE,
+    FaultInjector,
+    default_worker_id,
+)
 from repro.campaign.spec import ShardSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import QuarantineEntry, ResultStore, ShardRecord
 
-__all__ = ["run_worker"]
+__all__ = ["WorkerResult", "run_worker"]
+
+#: ``python -m repro worker`` exit codes (documented in ``--help``).
+EXIT_DRAINED = 0
+EXIT_STARTUP_TIMEOUT = 3
+EXIT_SHARD_FAILED = 4
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """What one worker run accomplished."""
+
+    #: Shards executed to a persisted record.
+    executed: int
+    #: Shards this worker parked in quarantine (budget exhausted).
+    quarantined: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 drained clean, 4 when any shard terminally failed."""
+        return EXIT_SHARD_FAILED if self.quarantined else EXIT_DRAINED
+
+
+class _Heartbeat:
+    """Background thread atomically touching a lease's heartbeat beacon.
+
+    ``delay_s`` suppresses the first beats — the ``delay-heartbeat`` fault:
+    the worker is alive but silent, which the coordinator must treat as dead
+    once the silence outlives the lease timeout.
+    """
+
+    def __init__(self, queue: FileQueue, lease: Path, interval_s: float,
+                 delay_s: float = 0.0) -> None:
+        self._queue = queue
+        self._lease = lease
+        self._interval_s = interval_s
+        self._delay_s = delay_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        if self._delay_s > 0 and self._stop.wait(self._delay_s):
+            return
+        self._queue.beat(self._lease)
+        while not self._stop.wait(self._interval_s):
+            self._queue.beat(self._lease)
 
 
 def _log(message: str, quiet: bool) -> None:
@@ -42,12 +117,35 @@ def _log(message: str, quiet: bool) -> None:
         sys.stderr.write(f"[worker] {message}\n")
 
 
+def _crash(kind: str, record: ShardRecord, store: ResultStore) -> None:
+    """Perform an injected crash (never returns).
+
+    ``crash-mid-write`` first drops a torn partial-record artifact — the
+    debris a *non-atomic* writer would leave when killed — into the shard
+    directory.  It deliberately bypasses the atomic-write idiom: the chaos
+    suite's point is that such debris never matches the store's
+    ``shard-*.json`` listing and therefore never corrupts a campaign.
+    ``os._exit`` stands in for kill -9: no cleanup, no flush, no release.
+    """
+    if kind == KIND_CRASH_MID_WRITE:
+        target = store.shard_path(record.index)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        torn = target.with_name(f"{target.name}.{os.getpid()}.torn.tmp")
+        text = record.to_json()
+        torn.write_text(text[:max(1, len(text) // 2)],  # repro-lint: disable=atomic-write
+                        encoding="utf-8")
+        os._exit(CRASH_EXIT_MID_WRITE)
+    os._exit(CRASH_EXIT_BEFORE_RECORD)
+
+
 def run_worker(queue_dir: Union[str, Path], poll_s: float = 0.2,
                max_shards: Optional[int] = None,
                exit_when_empty: bool = False,
                startup_timeout_s: float = 60.0,
-               quiet: bool = False) -> int:
-    """Drain a file-queue campaign; returns the number of shards executed.
+               heartbeat_s: float = 1.0,
+               worker_id: Optional[str] = None,
+               quiet: bool = False) -> WorkerResult:
+    """Drain a file-queue campaign; returns a :class:`WorkerResult`.
 
     Parameters
     ----------
@@ -66,13 +164,31 @@ def run_worker(queue_dir: Union[str, Path], poll_s: float = 0.2,
         ready before giving up (covers workers started before the
         coordinator); expiry raises :class:`TimeoutError` so a misconfigured
         ``--queue`` path cannot masquerade as a successful drain.
+    heartbeat_s:
+        Interval between heartbeat touches while executing a shard.  Keep it
+        well under the coordinator's lease timeout — the heartbeat is what
+        distinguishes this worker's slow shard from a dead worker's orphan.
+    worker_id:
+        Identity recorded in quarantine entries and matched against
+        worker-addressed faults; defaults to ``$REPRO_WORKER_ID`` or
+        ``<host>-<pid>``.
     """
     if poll_s <= 0:
         raise ValueError("poll_s must be positive")
+    if heartbeat_s <= 0:
+        raise ValueError("heartbeat_s must be positive")
     store = ResultStore(queue_dir)
     queue = FileQueue(store.root)
+    if worker_id is None:
+        worker_id = default_worker_id()
+    # Publish the identity so faults addressed by worker id also match when
+    # evaluated deeper in the stack (execute_shard's injection point).
+    os.environ[ENV_WORKER_ID] = worker_id
+    injector = FaultInjector.from_env(worker_id=worker_id)
     started = time.monotonic()
     executed = 0
+    quarantined = 0
+    retry = None
     spec = None
     while True:
         if not queue.ready:
@@ -85,13 +201,15 @@ def run_worker(queue_dir: Union[str, Path], poll_s: float = 0.2,
             continue
         lease = queue.claim()
         if lease is None:
-            if exit_when_empty:
+            if exit_when_empty and not queue.has_pending_tasks:
                 _log(f"queue drained after {executed} shard(s); exiting", quiet)
-                return executed
+                return WorkerResult(executed=executed, quarantined=quarantined)
             time.sleep(poll_s)
             continue
         if spec is None:
             spec = store.require_spec()
+        if retry is None:
+            retry = queue.load_retry()
         try:
             shard = ShardSpec.load_json(lease)
         except FileNotFoundError:
@@ -99,13 +217,36 @@ def run_worker(queue_dir: Union[str, Path], poll_s: float = 0.2,
             # between the claim and the read; the shard is someone else's
             # now — move on rather than dying.
             continue
-        try:
-            record = execute_shard(spec, shard)
-        except BaseException:
-            queue.record_failure(lease, traceback.format_exc())
-            _log(f"shard {shard.index} failed (recorded for the coordinator)",
-                 quiet)
+        if store.shard_path(shard.index).exists():
+            # A stale duplicate — the shard landed while its speculative
+            # re-dispatch (or re-queued task) sat in the queue.  Drain it.
+            queue.release(lease)
             continue
+        delay_s = injector.heartbeat_delay_s(shard.index) if injector else 0.0
+        try:
+            with _Heartbeat(queue, lease, heartbeat_s, delay_s=delay_s):
+                record = execute_shard(spec, shard)
+        except BaseException:
+            trace = traceback.format_exc()
+            attempts = store.bump_attempts(shard.index, trace)
+            if retry.exhausted(attempts):
+                store.save_quarantine(QuarantineEntry(
+                    index=shard.index, attempts=attempts, error=trace,
+                    worker=worker_id, shard=shard.to_dict()))
+                queue.release(lease)
+                quarantined += 1
+                _log(f"shard {shard.index} quarantined after {attempts} "
+                     "attempt(s)", quiet)
+            else:
+                backoff = retry.backoff_s(shard.seed, attempts)
+                queue.requeue_with_backoff(lease, backoff)
+                _log(f"shard {shard.index} failed (attempt {attempts}/"
+                     f"{retry.max_attempts}); re-queued with "
+                     f"{backoff:.2f}s backoff", quiet)
+            continue
+        crash = injector.crash_kind(shard.index) if injector else None
+        if crash is not None:
+            _crash(crash, record, store)
         store.save_record(record)
         queue.release(lease)
         executed += 1
@@ -113,4 +254,4 @@ def run_worker(queue_dir: Union[str, Path], poll_s: float = 0.2,
              f"(total {executed})", quiet)
         if max_shards is not None and executed >= max_shards:
             _log(f"reached max-shards={max_shards}; exiting", quiet)
-            return executed
+            return WorkerResult(executed=executed, quarantined=quarantined)

@@ -7,6 +7,8 @@ import pytest
 from repro.campaign import (
     CampaignSpec,
     ResultStore,
+    RetryPolicy,
+    ShardFailure,
     ShardSpec,
     StoreMismatchError,
     execute_shard,
@@ -193,14 +195,29 @@ class TestResume:
     def test_failing_shard_still_persists_completed_work(self, tmp_path):
         # Client 999 does not exist, so its shard raises in the worker; the
         # healthy shards' records must still land in the store so a resume
-        # (with the bad axis value fixed or the bug fixed) skips them.
+        # (with the bad axis value fixed or the bug fixed) skips them, and
+        # the poison shard parks in quarantine instead of failing the run.
         spec = small_figure5_spec(client_ids=(1, 999, 2), num_packets=2)
         store = ResultStore(tmp_path / "campaign")
-        with pytest.raises(KeyError, match="unknown client id 999"):
-            run_campaign(spec, workers=3, store=store)
+        run = run_campaign(spec, workers=3, store=store,
+                           retry=RetryPolicy(max_attempts=1))
         completed = store.completed_indices()
         assert 1 not in completed
         assert set(completed) == {0, 2}
+        assert not run.complete
+        assert [entry.index for entry in run.quarantined] == [1]
+        assert "unknown client id 999" in run.quarantined[0].error
+        # A quarantined campaign never masquerades as the merged artifact.
+        assert not store.merged_path.exists()
+
+    def test_strict_mode_fails_fast_on_exhausted_shard(self, tmp_path):
+        spec = small_figure5_spec(client_ids=(1, 999, 2), num_packets=2)
+        store = ResultStore(tmp_path / "campaign")
+        with pytest.raises(ShardFailure, match="unknown client id 999"):
+            run_campaign(spec, workers=3, store=store, strict=True,
+                         retry=RetryPolicy(max_attempts=1))
+        # The healthy shards' work still landed before strict raised.
+        assert set(store.completed_indices()) == {0, 2}
 
     def test_atomic_write_leaves_no_temp_files(self, tmp_path):
         spec = small_figure5_spec(client_ids=(1,), num_packets=2)

@@ -20,6 +20,7 @@ from repro.campaign import (
     FileQueueBackend,
     ProcessPoolBackend,
     ResultStore,
+    RetryPolicy,
     SerialBackend,
     ShardFailure,
     get_adapter,
@@ -125,7 +126,7 @@ class TestFileQueueProtocol:
         os.utime(task, (stale, stale))
         lease = queue.claim()
         assert time.time() - lease.stat().st_mtime < 60.0
-        assert queue.requeue_expired(lease_timeout_s=60.0, recorded=set()) == []
+        assert queue.requeue_expired(lease_timeout_s=60.0, done=set()) == []
 
     def test_expired_lease_requeues_without_record(self, tmp_path):
         queue = FileQueue(tmp_path)
@@ -135,7 +136,7 @@ class TestFileQueueProtocol:
         os.utime(lease, (stale, stale))
         # A fresh lease stays put; the stale one goes back to the task queue.
         fresh = queue.claim()
-        requeued = queue.requeue_expired(lease_timeout_s=60.0, recorded=set())
+        requeued = queue.requeue_expired(lease_timeout_s=60.0, done=set())
         assert requeued == [0]
         assert not lease.exists()
         assert fresh.exists()
@@ -147,19 +148,21 @@ class TestFileQueueProtocol:
         lease = queue.claim()
         stale = time.time() - 3600.0
         os.utime(lease, (stale, stale))
-        assert queue.requeue_expired(lease_timeout_s=60.0, recorded={0}) == []
+        assert queue.requeue_expired(lease_timeout_s=60.0, done={0}) == []
         assert queue.empty
 
     def test_failed_shard_raises_with_worker_traceback(self, tmp_path):
-        # Client 999 does not exist; the worker records the failure and the
-        # coordinator reports it instead of spinning forever.
+        # Client 999 does not exist; the worker quarantines the failure
+        # (max_attempts=1: no retries) and the strict coordinator reports it
+        # instead of spinning forever.
         spec = get_adapter("figure5").default_spec(client_ids=(1, 999),
                                                    num_packets=1)
         store = ResultStore(tmp_path / "campaign")
         backend = FileQueueBackend(workers=1, poll_s=0.05, timeout_s=300.0,
-                                   keep_queue=True)
+                                   keep_queue=True,
+                                   retry=RetryPolicy(max_attempts=1))
         with pytest.raises(ShardFailure, match="unknown client id 999"):
-            run_campaign(spec, store=store, backend=backend)
+            run_campaign(spec, store=store, backend=backend, strict=True)
         # The healthy shard's record still landed before the failure raised.
         assert 0 in store.completed_indices()
 
@@ -170,11 +173,13 @@ class TestWorkerLoop:
         store = ResultStore(tmp_path / "campaign")
         store.save_spec(spec)
         FileQueue(store.root).build(spec.compile())
-        executed = run_worker(store.root, poll_s=0.05, exit_when_empty=True)
-        assert executed == 4
+        result = run_worker(store.root, poll_s=0.05, exit_when_empty=True)
+        assert result.executed == 4
+        assert result.exit_code == 0
         assert store.completed_indices() == (0, 1, 2, 3)
         # A second worker finds nothing to do.
-        assert run_worker(store.root, poll_s=0.05, exit_when_empty=True) == 0
+        again = run_worker(store.root, poll_s=0.05, exit_when_empty=True)
+        assert again.executed == 0
 
     def test_never_ready_queue_raises_instead_of_fake_success(self, tmp_path):
         with pytest.raises(TimeoutError, match="never became ready"):
@@ -186,8 +191,9 @@ class TestWorkerLoop:
         store = ResultStore(tmp_path / "campaign")
         store.save_spec(spec)
         FileQueue(store.root).build(spec.compile())
-        assert run_worker(store.root, poll_s=0.05, max_shards=1,
-                          exit_when_empty=True) == 1
+        result = run_worker(store.root, poll_s=0.05, max_shards=1,
+                            exit_when_empty=True)
+        assert result.executed == 1
         assert len(store.completed_indices()) == 1
 
 

@@ -1,0 +1,266 @@
+"""Chaos matrix: campaigns must survive injected faults bit-identically.
+
+Each test activates a deterministic :class:`FaultPlan` (via the same
+``REPRO_FAULT_PLAN`` environment variable / ``--fault-plan`` flag a chaos CI
+job would use) and drives a real campaign through it — real subprocess
+workers for the file-queue scenarios — then holds the output to the only
+standard that matters: ``merged.json`` byte-equal to the fault-free serial
+run.  The matrix covers every recovery path:
+
+* kill -9 mid-write and before-record (lease expiry + torn-file tolerance),
+* transient failures retried with backoff (attempt counts persisted),
+* poison shards quarantined with tracebacks after the retry budget
+  (failing the run only under ``--strict``),
+* a heartbeating-but-slow worker never prematurely re-queued, while a
+  silent one is,
+* speculative re-dispatch of a tail straggler, with the duplicate record
+  landing harmlessly,
+* the acceptance bar: faults on >= 25% of shards, campaign still converges.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    FaultPlan,
+    FaultSpec,
+    FileQueueBackend,
+    ResultStore,
+    RetryPolicy,
+    ShardFailure,
+    get_adapter,
+    run_campaign,
+)
+from repro.campaign.backends import FileQueue
+from repro.campaign.faults import (
+    ENV_FAULT_PLAN,
+    KIND_CRASH_BEFORE_RECORD,
+    KIND_CRASH_MID_WRITE,
+    KIND_DELAY_HEARTBEAT,
+    KIND_HANG,
+    KIND_TRANSIENT,
+)
+
+from test_campaign_backends import (
+    small_spec,
+    spawn_worker,
+    wait_until,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.01,
+                         backoff_max_s=0.05)
+
+
+def activate(monkeypatch, tmp_path, plan):
+    """Persist ``plan`` and point the fault environment at it."""
+    path = tmp_path / "fault-plan.json"
+    plan.save_json(path)
+    monkeypatch.setenv(ENV_FAULT_PLAN, str(path))
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_merged(tmp_path_factory):
+    """The fault-free serial merged.json bytes (4-shard campaign)."""
+    store = ResultStore(tmp_path_factory.mktemp("reference") / "campaign")
+    run_campaign(small_spec(), workers=1, store=store)
+    return store.merged_path.read_bytes()
+
+
+class TestCrashRecovery:
+    def test_killed_workers_recover_bit_identically(
+            self, tmp_path, monkeypatch, reference_merged):
+        """One worker os._exits before its record, another mid-write (leaving
+        a torn partial file); respawned workers finish to the exact bytes."""
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_CRASH_MID_WRITE, shard=1),
+            FaultSpec(kind=KIND_CRASH_BEFORE_RECORD, shard=2),
+        ))
+        plan_path = activate(monkeypatch, tmp_path, plan)
+        store = ResultStore(tmp_path / "campaign")
+        backend = FileQueueBackend(workers=2, lease_timeout_s=1.5,
+                                   poll_s=0.05, timeout_s=300.0)
+        run = run_campaign(small_spec(), store=store, backend=backend)
+        assert run.complete
+        assert store.merged_path.read_bytes() == reference_merged
+        # Both crashes really fired (their O_EXCL markers were claimed) ...
+        state = plan_path.with_name(plan_path.name + ".state")
+        assert (state / "fault-000.fired-000").exists()
+        assert (state / "fault-001.fired-000").exists()
+        # ... and the mid-write crash left its torn debris behind, proving
+        # the record glob and the merge never even looked at it.
+        assert list(store.shard_dir.glob("*.torn.tmp"))
+
+
+class TestRetryWithBackoff:
+    def test_transient_failures_retry_to_success(
+            self, tmp_path, monkeypatch, reference_merged):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_TRANSIENT, shard=0, times=2),))
+        activate(monkeypatch, tmp_path, plan)
+        store = ResultStore(tmp_path / "campaign")
+        run = run_campaign(small_spec(), workers=1, store=store,
+                           retry=FAST_RETRY)
+        assert run.complete
+        assert store.merged_path.read_bytes() == reference_merged
+        # Both failed attempts were counted — and persisted for post-mortems.
+        assert store.load_attempts(0) == 2
+        assert store.attempt_counts() == {0: 2}
+
+
+class TestQuarantine:
+    def poison_plan(self):
+        # times=99: the fault outlives any retry budget — a poison shard.
+        return FaultPlan(faults=(
+            FaultSpec(kind=KIND_TRANSIENT, shard=2, times=99),
+            FaultSpec(kind=KIND_TRANSIENT, shard=3, times=99),
+        ))
+
+    def test_exhausted_shards_park_without_failing_the_run(
+            self, tmp_path, monkeypatch):
+        activate(monkeypatch, tmp_path, self.poison_plan())
+        store = ResultStore(tmp_path / "campaign")
+        run = run_campaign(small_spec(), workers=1, store=store,
+                           retry=FAST_RETRY)
+        assert not run.complete
+        assert [entry.index for entry in run.quarantined] == [2, 3]
+        for entry in run.quarantined:
+            assert entry.attempts == FAST_RETRY.max_attempts
+            assert "TransientFaultError" in entry.error  # full traceback
+        assert set(store.completed_indices()) == {0, 1}
+        assert store.quarantined_indices() == (2, 3)
+        # A partial campaign never masquerades as the merged artifact.
+        assert not store.merged_path.exists()
+
+    def test_strict_raises_one_aggregated_report(self, tmp_path, monkeypatch):
+        activate(monkeypatch, tmp_path, self.poison_plan())
+        store = ResultStore(tmp_path / "campaign")
+        with pytest.raises(ShardFailure) as excinfo:
+            run_campaign(small_spec(), workers=1, store=store,
+                         retry=FAST_RETRY, strict=True)
+        message = str(excinfo.value)
+        # One message names every failed shard and where its report parks.
+        assert "2 shard(s) exhausted their retry budget" in message
+        assert "shard 2" in message and "shard 3" in message
+        assert str(store.quarantine_path(2)) in message
+        assert str(store.quarantine_path(3)) in message
+        assert "TransientFaultError" in message
+        # Healthy work still landed before strict raised.
+        assert set(store.completed_indices()) == {0, 1}
+
+
+class TestHeartbeatVsStaleness:
+    def test_slow_but_alive_worker_keeps_its_lease(self, tmp_path,
+                                                   monkeypatch):
+        """A worker hanging well past the lease timeout — but heartbeating —
+        must never be treated as dead."""
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_HANG, shard=0, delay_s=3.0),))
+        plan_path = activate(monkeypatch, tmp_path, plan)
+        spec = get_adapter("figure5").default_spec(client_ids=(1,),
+                                                   num_packets=1)
+        store = ResultStore(tmp_path / "campaign")
+        store.save_spec(spec)
+        queue = FileQueue(store.root)
+        queue.build(spec.compile())
+        worker = spawn_worker(store.root, "--exit-when-empty",
+                              "--heartbeat", "0.2",
+                              "--fault-plan", str(plan_path))
+        try:
+            assert wait_until(lambda: queue.leases(), timeout_s=60.0)
+            # Throughout the 3s+ hang, staleness checks with a 1s timeout
+            # must keep coming back empty: the heartbeat is the liveness.
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                assert queue.requeue_expired(lease_timeout_s=1.0,
+                                             done=set()) == []
+                time.sleep(0.1)
+            assert wait_until(lambda: store.record_indices() == (0,),
+                              timeout_s=60.0)
+            assert worker.wait(timeout=60) == 0
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait(timeout=30)
+
+    def test_silent_worker_is_requeued(self, tmp_path, monkeypatch):
+        """Same hang, but with the heartbeat suppressed: the coordinator
+        must declare the worker dead and put the shard back."""
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_HANG, shard=0, delay_s=10.0),
+            FaultSpec(kind=KIND_DELAY_HEARTBEAT, shard=0, delay_s=10.0),
+        ))
+        plan_path = activate(monkeypatch, tmp_path, plan)
+        spec = get_adapter("figure5").default_spec(client_ids=(1,),
+                                                   num_packets=1)
+        store = ResultStore(tmp_path / "campaign")
+        store.save_spec(spec)
+        queue = FileQueue(store.root)
+        queue.build(spec.compile())
+        worker = spawn_worker(store.root, "--heartbeat", "0.2",
+                              "--fault-plan", str(plan_path))
+        try:
+            assert wait_until(lambda: queue.leases(), timeout_s=60.0)
+            assert wait_until(
+                lambda: queue.requeue_expired(lease_timeout_s=1.0,
+                                              done=set()) == [0],
+                timeout_s=30.0)
+            assert queue.has_pending_tasks  # the shard is claimable again
+        finally:
+            worker.kill()
+            worker.wait(timeout=30)
+
+
+class TestSpeculation:
+    def test_tail_straggler_is_redispatched(self, tmp_path, monkeypatch,
+                                            reference_merged):
+        """The last shard hangs for ~30s; speculation hands a duplicate to a
+        fresh worker, which finishes long before the straggler wakes — and
+        the duplicate record lands without corrupting anything."""
+        hang_s = 30.0
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_HANG, shard=3, delay_s=hang_s),))
+        activate(monkeypatch, tmp_path, plan)
+        store = ResultStore(tmp_path / "campaign")
+        backend = FileQueueBackend(workers=2, lease_timeout_s=120.0,
+                                   poll_s=0.05, timeout_s=300.0,
+                                   speculate_factor=2.0,
+                                   speculate_tail_frac=0.25,
+                                   speculate_min_records=3)
+        started = time.monotonic()
+        run = run_campaign(small_spec(), store=store, backend=backend)
+        wall_s = time.monotonic() - started
+        assert run.complete
+        assert store.merged_path.read_bytes() == reference_merged
+        # The lease timeout (120s) could not have rescued the campaign, and
+        # the hang alone would have pinned the wall clock past 30s: only a
+        # speculative duplicate explains finishing this fast.
+        assert wall_s < hang_s, (
+            f"campaign took {wall_s:.1f}s — speculation never fired")
+
+
+class TestAcceptanceBar:
+    def test_faults_on_half_the_shards_still_converge(self, tmp_path,
+                                                      monkeypatch):
+        """The ISSUE acceptance criterion: a sampled plan faulting >= 25% of
+        the shards (here 50%: one transient, one crash-before-record, one
+        crash-mid-write, one hang), two real file-queue workers, and the
+        merged output still byte-equal to the fault-free serial run."""
+        spec = small_spec().with_overrides(seeds=(42, 43))  # 8 shards
+        serial_store = ResultStore(tmp_path / "serial")
+        run_campaign(spec, workers=1, store=serial_store)
+        reference = serial_store.merged_path.read_bytes()
+
+        plan = FaultPlan.sample(spec.num_shards, fraction=0.5, seed=2026,
+                                delay_s=1.0)
+        assert len(plan.faulted_shards()) == 4
+        activate(monkeypatch, tmp_path, plan)
+        store = ResultStore(tmp_path / "campaign")
+        backend = FileQueueBackend(workers=2, lease_timeout_s=2.0,
+                                   poll_s=0.05, timeout_s=300.0)
+        run = run_campaign(spec, store=store, backend=backend)
+        assert run.complete
+        assert run.quarantined == ()
+        assert store.merged_path.read_bytes() == reference

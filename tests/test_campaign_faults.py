@@ -1,0 +1,321 @@
+"""Unit tests for the fault-tolerance primitives.
+
+The chaos matrix (``test_campaign_chaos.py``) drives whole campaigns through
+injected failures; these tests pin down the building blocks in isolation:
+fault plans and their cross-process firing budget, the deterministic retry
+policy, heartbeat-aware lease expiry, backoff-deferred re-queues, straggler
+speculation, and the store's attempts/quarantine bookkeeping.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    QuarantineEntry,
+    ResultStore,
+    RetryPolicy,
+    get_adapter,
+)
+from repro.campaign.backends import FileQueue
+from repro.campaign.faults import (
+    FAULT_KINDS,
+    KIND_CRASH_BEFORE_RECORD,
+    KIND_HANG,
+    KIND_TRANSIENT,
+    TransientFaultError,
+)
+from repro.campaign.progress import CampaignProgress
+from repro.campaign.worker import (
+    EXIT_DRAINED,
+    EXIT_SHARD_FAILED,
+    WorkerResult,
+)
+
+
+def small_spec():
+    return get_adapter("figure5").default_spec(client_ids=(1, 2, 3, 4),
+                                               num_packets=1)
+
+
+# ------------------------------------------------------------------- plans
+class TestFaultPlan:
+    def test_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan(seed=9, faults=(
+            FaultSpec(kind=KIND_TRANSIENT, shard=1, times=2),
+            FaultSpec(kind=KIND_HANG, shard=3, delay_s=0.5, seed=4),
+        ))
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        assert FaultPlan.load_json(path) == plan
+
+    def test_sample_is_deterministic_and_covers_fraction(self):
+        first = FaultPlan.sample(16, fraction=0.25, seed=11)
+        second = FaultPlan.sample(16, fraction=0.25, seed=11)
+        assert first == second
+        assert len(first.faulted_shards()) == 4
+        assert all(0 <= index < 16 for index in first.faulted_shards())
+        assert FaultPlan.sample(16, fraction=0.25, seed=12) != first
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor-strike")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(kind=KIND_TRANSIENT, times=0)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(kind=KIND_HANG, delay_s=-1.0)
+        with pytest.raises(ValueError, match="fraction"):
+            FaultPlan.sample(4, fraction=0.0)
+
+    def test_jitter_only_lengthens_delays(self):
+        fault = FaultSpec(kind=KIND_HANG, delay_s=2.0, seed=3)
+        jittered = fault.jittered_delay_s()
+        assert 2.0 <= jittered <= 2.5
+        assert jittered == fault.jittered_delay_s()  # deterministic
+
+    def test_addressing_by_shard_and_worker(self):
+        fault = FaultSpec(kind=KIND_TRANSIENT, shard=2, worker="w1")
+        assert fault.matches(2, "w1")
+        assert not fault.matches(3, "w1")
+        assert not fault.matches(2, "w2")
+        anywhere = FaultSpec(kind=KIND_TRANSIENT)
+        assert anywhere.matches(7, None)
+
+
+class TestFaultInjector:
+    def test_transient_fires_exactly_times_across_injectors(self, tmp_path):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_TRANSIENT, shard=0, times=2),))
+        state = tmp_path / "state"
+        # Two injectors sharing the state dir model two worker processes.
+        first = FaultInjector(plan, state)
+        second = FaultInjector(plan, state)
+        with pytest.raises(TransientFaultError):
+            first.on_execute(0)
+        with pytest.raises(TransientFaultError):
+            second.on_execute(0)
+        first.on_execute(0)  # budget spent: no more failures
+        second.on_execute(0)
+
+    def test_crash_kind_claims_one_slot(self, tmp_path):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind=KIND_CRASH_BEFORE_RECORD, shard=1),))
+        injector = FaultInjector(plan, tmp_path / "state")
+        assert injector.crash_kind(1) == KIND_CRASH_BEFORE_RECORD
+        assert injector.crash_kind(1) is None  # fired once, never again
+        assert injector.crash_kind(0) is None  # wrong shard
+
+    def test_from_env_inactive_without_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert FaultInjector.from_env() is None
+
+    def test_from_env_loads_plan_and_state_dir(self, tmp_path, monkeypatch):
+        plan = FaultPlan(faults=(FaultSpec(kind=KIND_TRANSIENT, shard=0),))
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        injector = FaultInjector.from_env(worker_id="w9")
+        assert injector is not None
+        assert injector.plan == plan
+        assert injector.state_dir == tmp_path / "plan.json.state"
+        assert injector.worker_id == "w9"
+
+    def test_every_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind)
+
+
+# ------------------------------------------------------------------- retry
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_grows(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base_s=0.1,
+                             backoff_factor=2.0, jitter_frac=0.25)
+        delays = [policy.backoff_s(seed=77, attempt=a) for a in (1, 2, 3)]
+        assert delays == [policy.backoff_s(77, a) for a in (1, 2, 3)]
+        # Jitter is +/-25%, growth is 2x: successive delays must still grow.
+        assert delays[0] < delays[1] < delays[2]
+        for attempt, delay in enumerate(delays, start=1):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=10.0,
+                             backoff_max_s=2.0, jitter_frac=0.0)
+        assert policy.backoff_s(0, 5) == 2.0
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_round_trips_through_queue(self, tmp_path):
+        policy = RetryPolicy(max_attempts=7, backoff_base_s=0.05)
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1], retry=policy)
+        assert queue.load_retry() == policy
+
+    def test_missing_queue_policy_falls_back_to_default(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        assert queue.load_retry() == RetryPolicy()
+
+
+# ----------------------------------------------------------- store plumbing
+class TestAttemptsAndQuarantine:
+    def test_bump_attempts_persists_and_survives_reload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load_attempts(3) == 0
+        assert store.bump_attempts(3, "boom") == 1
+        assert store.bump_attempts(3, "boom again") == 2
+        assert ResultStore(tmp_path).load_attempts(3) == 2
+        assert store.attempt_counts() == {3: 2}
+        store.clear_attempts()
+        assert store.load_attempts(3) == 0
+
+    def test_quarantine_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entry = QuarantineEntry(index=5, attempts=3, error="Traceback: ...",
+                                worker="w1", shard={"index": 5})
+        store.save_quarantine(entry)
+        assert store.quarantined_indices() == (5,)
+        assert store.load_quarantine() == {5: entry}
+        store.clear_quarantine()
+        assert store.quarantined_indices() == ()
+
+    def test_torn_attempts_file_reads_as_zero(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.bump_attempts(1, "boom")
+        store.attempts_path(1).write_text('{"index": 1, "attem',
+                                          encoding="utf-8")
+        assert store.load_attempts(1) == 0
+
+
+class TestTornProgress:
+    def test_missing_and_torn_files_read_as_none(self, tmp_path):
+        assert CampaignProgress.load(tmp_path / "progress.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"completed_shards": 3, "tot', encoding="utf-8")
+        assert CampaignProgress.load(torn) is None
+        not_a_dict = tmp_path / "list.json"
+        not_a_dict.write_text("[1, 2]", encoding="utf-8")
+        assert CampaignProgress.load(not_a_dict) is None
+
+    def test_store_load_progress_is_torn_safe(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.progress_path.parent.mkdir(parents=True, exist_ok=True)
+        store.progress_path.write_text('{"done": tru', encoding="utf-8")
+        assert store.load_progress() is None
+        store.save_progress({"done": True})
+        assert store.load_progress() == {"done": True}
+
+
+# ------------------------------------------------------------ queue protocol
+class TestHeartbeats:
+    def test_beat_is_invisible_to_task_listings(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        queue.beat(lease)
+        assert queue.heartbeat_path(lease).exists()
+        assert queue.leases() == [lease]  # the beacon is not a lease
+        assert not queue.has_pending_tasks
+
+    def test_fresh_heartbeat_keeps_a_stale_lease(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        stale = time.time() - 3600.0
+        os.utime(lease, (stale, stale))
+        queue.beat(lease)  # slow worker, but alive
+        assert queue.requeue_expired(lease_timeout_s=60.0, done=set()) == []
+        assert lease.exists()
+
+    def test_stale_heartbeat_and_lease_requeue(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        queue.beat(lease)
+        stale = time.time() - 3600.0
+        os.utime(lease, (stale, stale))
+        os.utime(queue.heartbeat_path(lease), (stale, stale))
+        assert queue.requeue_expired(lease_timeout_s=60.0, done=set()) == [0]
+        assert not queue.heartbeat_path(lease).exists()
+
+    def test_release_clears_the_heartbeat(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        queue.beat(lease)
+        queue.release(lease)
+        assert not queue.heartbeat_path(lease).exists()
+        assert queue.empty
+
+
+class TestBackoffRequeue:
+    def test_deferred_task_is_not_claimable_until_due(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        queue.requeue_with_backoff(lease, delay_s=3600.0)
+        assert not lease.exists()
+        assert queue.has_pending_tasks  # a worker must not exit-when-empty
+        assert queue.claim() is None  # but the task is not claimable yet
+        task = next(iter(queue._entries(queue.tasks_dir)))
+        now = time.time()
+        os.utime(task, (now, now))  # backoff elapsed
+        assert queue.claim() is not None
+
+    def test_zero_delay_requeues_immediately(self, tmp_path):
+        queue = FileQueue(tmp_path)
+        queue.build(small_spec().compile()[:1])
+        lease = queue.claim()
+        queue.requeue_with_backoff(lease, delay_s=0.0)
+        assert queue.claim() is not None
+
+
+class TestSpeculation:
+    def test_speculate_duplicates_a_leased_task(self, tmp_path):
+        shards = small_spec().compile()[:1]
+        queue = FileQueue(tmp_path)
+        queue.build(shards)
+        lease = queue.claim()
+        assert not queue.has_pending_tasks
+        queue.speculate(shards[0])
+        assert queue.has_pending_tasks  # duplicate task, lease still standing
+        assert lease.exists()
+        duplicate = queue.claim()
+        assert duplicate is not None
+
+    def test_retire_clears_every_artifact(self, tmp_path):
+        shards = small_spec().compile()[:1]
+        queue = FileQueue(tmp_path)
+        queue.build(shards)
+        lease = queue.claim()
+        queue.beat(lease)
+        queue.speculate(shards[0])
+        queue.retire(0)
+        assert queue.empty
+        assert not queue.heartbeat_path(lease).exists()
+
+
+# ------------------------------------------------------------------- worker
+class TestWorkerResult:
+    def test_exit_codes(self):
+        assert WorkerResult(executed=3, quarantined=0).exit_code == EXIT_DRAINED
+        assert WorkerResult(executed=3,
+                            quarantined=1).exit_code == EXIT_SHARD_FAILED

@@ -230,6 +230,41 @@ class TestAtomicWrite:
             """}, rule="atomic-write")
         assert report.violations == []
 
+    def test_os_rename_counts_as_the_idiom(self, tmp_path):
+        # The file queue claims tasks and defers retries via os.rename;
+        # a write inside such a function IS the atomic idiom.
+        report = run_lint(tmp_path, {"src/repro/campaign/thing.py": """
+            import os
+
+            def requeue_with_backoff(task_path, text):
+                temp = str(task_path) + ".tmp"
+                with open(temp, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.rename(temp, task_path)
+            """}, rule="atomic-write")
+        assert report.violations == []
+
+    def test_bare_heartbeat_write_fires(self, tmp_path):
+        # A liveness beacon written non-atomically can be read torn by the
+        # coordinator's staleness check — the rule must catch the shortcut.
+        report = run_lint(tmp_path, {"src/repro/campaign/thing.py": """
+            import time
+
+            def beat(heartbeat_path):
+                heartbeat_path.write_text(f"{time.time():.3f}")
+            """}, rule="atomic-write")
+        assert len(rule_hits(report, "atomic-write")) == 1
+
+    def test_documented_torn_debris_writer_is_suppressed(self, tmp_path):
+        # The chaos worker's crash-mid-write fault writes torn debris on
+        # purpose; the pragma documents that and is counted, not ignored.
+        report = run_lint(tmp_path, {"src/repro/campaign/thing.py": """
+            def crash_mid_write(torn_path, text):
+                torn_path.write_text(text[: len(text) // 2])  # repro-lint: disable=atomic-write
+            """}, rule="atomic-write")
+        assert report.violations == []
+        assert report.suppressed_by_pragma == 1
+
 
 # ------------------------------------------------- frozen-config-mutation
 class TestFrozenConfigMutation:
