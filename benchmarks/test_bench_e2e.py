@@ -66,4 +66,4 @@ def test_bench_e2e_batched(benchmark):
     events = benchmark(
         lambda: deployment.run_batch(deployment.traffic(1, num_packets=64)))
     assert len(events) == 64
-    assert all(np.isfinite(event.latency_s) for event in events)
+    assert all(np.isfinite(event.batch_latency_s) for event in events)

@@ -40,7 +40,7 @@ def main() -> None:
         print(f"  packet {event.index}: verdict={event.verdict:<7}"
               f" bearing={bearing:6.1f} deg"
               f" similarity={event.decision.similarity:.2f}"
-              f" latency={event.latency_s * 1e3:5.1f} ms")
+              f" latency={event.decision_latency_s * 1e3:5.1f} ms")
 
     # The pseudospectrum of one more packet, as a coarse ASCII rendering so
     # the peak structure is visible without matplotlib.

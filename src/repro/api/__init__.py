@@ -4,8 +4,12 @@ One front door for driving SecureAngle: describe a deployment declaratively
 with :class:`ScenarioSpec` (serialisable to/from JSON), name components via
 the registries (:data:`AOA_METHODS`, :data:`ARRAY_GEOMETRIES`,
 :data:`ATTACK_TYPES`, :data:`ENVIRONMENTS`), compile it with
-:class:`Deployment`, and stream packets through :meth:`Deployment.run` (or
-:meth:`Deployment.run_batch` for the batched engine).
+:class:`Deployment`, and drive packets through :meth:`Deployment.process`
+(``mode="stream"`` or ``mode="batch"``; :meth:`Deployment.run` /
+:meth:`Deployment.run_batch` are the v0 spellings).  Every decision is a
+versioned, JSON-round-trippable :class:`PacketEvent`
+(:data:`EVENT_SCHEMA_VERSION`) — the schema the live service
+(:mod:`repro.serve`) streams to network clients.
 
 >>> from repro.api import Deployment, ScenarioSpec
 >>> deployment = Deployment(ScenarioSpec(name="quickstart"))
@@ -24,7 +28,8 @@ from repro.api.components import (
     ENVIRONMENTS,
     AoAMethod,
 )
-from repro.api.deployment import Deployment, Packet, PacketEvent
+from repro.api.deployment import Deployment
+from repro.api.events import EVENT_SCHEMA_VERSION, Packet, PacketEvent
 from repro.api.registry import Registry
 from repro.api.scenarios import (
     SCENARIOS,
@@ -47,6 +52,7 @@ __all__ = [
     "ARRAY_GEOMETRIES",
     "ATTACK_TYPES",
     "ENVIRONMENTS",
+    "EVENT_SCHEMA_VERSION",
     "SCENARIOS",
     "AoAMethod",
     "Registry",

@@ -6,14 +6,17 @@ the full live stack — environment, per-AP testbed simulators, calibrated
 :class:`~repro.core.controller.SecureAngleController`, clients, and attackers
 — and exposes one front door for driving traffic through it:
 
-* :meth:`run` consumes an iterable of :class:`Packet` records (a frame plus
-  per-AP captures) and *yields* one structured :class:`PacketEvent` per
-  packet: the accept/drop/flag decision, every AP's bearing, the triangulated
-  location, the fence verdict, and the processing latency.
-* :meth:`run_batch` does the same for a whole batch at once, riding the
-  batched AoA engine (one stacked eigendecomposition per AP instead of one
-  per packet).  Scalar and batched paths share the per-packet policy code, so
-  they cannot diverge.
+* :meth:`process` is the one documented contract (v1): it consumes an
+  iterable of :class:`Packet` records (a frame plus per-AP captures) and
+  yields one structured :class:`PacketEvent` per packet — the
+  accept/drop/flag decision, every AP's bearing, the triangulated location,
+  the fence verdict, and the processing latency — either streaming
+  (``mode="stream"``, one analysis per packet) or batched (``mode="batch"``,
+  one stacked eigendecomposition per AP).  Scalar and batched paths share
+  the per-packet policy code, so they cannot diverge.
+* :meth:`run` and :meth:`run_batch` are the v0 spellings of the two modes,
+  kept as thin shims over :meth:`process` so existing runners and examples
+  stay bit-identical.
 
 Randomness: the scenario seed drives one master generator; AP simulators
 draw from it exactly as the hand-wired experiments used to (directly for a
@@ -25,11 +28,12 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass, field
+from dataclasses import replace
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.aoa.estimator import AoAEstimate
 from repro.api.components import ENVIRONMENTS
+from repro.api.events import EVENT_SCHEMA_VERSION, Packet, PacketEvent
 from repro.api.spec import AccessPointSpec, ScenarioSpec
 from repro.attacks.attacker import Attacker
 from repro.attacks.spoofing_attack import SpoofingAttack
@@ -41,7 +45,6 @@ from repro.core.localization import (
     LocationEstimate,
     triangulate_bearings,
 )
-from repro.core.policy import PacketDecision
 from repro.core.signature import AoASignature, signatures_from_pseudospectra
 from repro.hardware.capture import Capture
 from repro.mac.address import MacAddress
@@ -50,62 +53,10 @@ from repro.testbed.clients import SoekrisClient, make_clients
 from repro.testbed.scenario import CaptureRequest, TestbedSimulator
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 
-__all__ = ["Deployment", "Packet", "PacketEvent"]
+__all__ = ["EVENT_SCHEMA_VERSION", "Deployment", "Packet", "PacketEvent"]
 
 #: Fixed MAC address deployments answer to ("SA" = SecureAngle).
 DEPLOYMENT_AP_ADDRESS = MacAddress("02:53:41:00:00:01")
-
-
-@dataclass(frozen=True)
-class Packet:
-    """One over-the-air packet: the claimed frame plus per-AP captures."""
-
-    frame: Dot11Frame
-    #: AP name -> that AP's capture of this packet.
-    captures: Mapping[str, Capture]
-    timestamp_s: float = 0.0
-    #: Free-form annotations (client id, ground-truth position, ...).
-    metadata: Dict[str, object] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if not self.captures:
-            raise ValueError("a packet needs at least one capture")
-
-
-@dataclass(frozen=True)
-class PacketEvent:
-    """The structured outcome of processing one packet."""
-
-    index: int
-    timestamp_s: float
-    source: MacAddress
-    #: The combined accept/drop/flag decision with its evidence.
-    decision: PacketDecision
-    #: Global-frame bearing per AP (local broadside angle for linear arrays).
-    bearings_deg: Dict[str, float]
-    #: Triangulated position (``None`` with fewer than two unambiguous APs).
-    location: Optional[LocationEstimate]
-    #: Virtual-fence outcome (``None`` when no fence applies).
-    fence: Optional[FenceCheck]
-    #: Wall-clock processing time attributed to this packet.  Semantics are
-    #: pinned so streaming and batched runs are directly comparable:
-    #: :meth:`Deployment.run` reports each packet's own analysis time, while
-    #: :meth:`Deployment.run_batch` reports the batch mean (total batch time
-    #: divided by the number of packets).  Either way,
-    #: ``1 / mean(latency_s)`` is the pipeline's packets-per-second
-    #: throughput for that run.
-    latency_s: float
-    metadata: Dict[str, object] = field(default_factory=dict)
-
-    @property
-    def accepted(self) -> bool:
-        """True when the frame was delivered to the network."""
-        return self.decision.accepted
-
-    @property
-    def verdict(self) -> str:
-        """The decision verdict as a string (``accept``/``drop``/``flag``)."""
-        return self.decision.verdict.value
 
 
 class Deployment:
@@ -431,14 +382,70 @@ class Deployment:
         return ap.train_client(address, captures)
 
     # ------------------------------------------------------------------ running
+    def process(self, packets: Iterable[Packet], *, mode: str = "stream",
+                primary_ap: Optional[str] = None,
+                update_signatures: bool = True) -> Iterator[PacketEvent]:
+        """The one documented packet-processing contract (event schema v1).
+
+        Consumes :class:`Packet` records and yields one v1
+        :class:`PacketEvent` per packet, in arrival order.  The primary AP
+        (``primary_ap``, default: the first AP holding a capture of each
+        packet) runs the ACL and spoofing checks and, when
+        ``update_signatures`` is on, tracks matching signatures;
+        localisation and the fence use every capture.
+
+        ``mode`` selects the execution strategy — never the outcome:
+
+        * ``"stream"`` — one analysis per packet, yielded lazily as packets
+          arrive; each event's :attr:`~PacketEvent.packet_latency_s` is that
+          packet's own measured analysis time
+          (:attr:`~PacketEvent.batch_latency_s` is ``None``).
+        * ``"batch"`` — the whole iterable is drained first and every AP
+          sees all of its captures in one ``analyze_batch`` call; each
+          event's :attr:`~PacketEvent.batch_latency_s` is the batch mean
+          (total wall-clock over the batch divided by its size;
+          :attr:`~PacketEvent.packet_latency_s` is ``None``).
+
+        Per-packet policy runs in arrival order in both modes, and the
+        scalar and batched AoA paths share their kernels, so decisions,
+        bearings, locations, and fence verdicts are bit-identical between
+        modes (and across any batch partitioning) — only the latency fields
+        and laziness differ.
+
+        :meth:`run` and :meth:`run_batch` are the v0 spellings of the two
+        modes, kept as shims over this contract.
+        """
+        if mode == "stream":
+            return self._process_stream(packets, primary_ap, update_signatures)
+        if mode == "batch":
+            return iter(self._process_batch(packets, primary_ap,
+                                            update_signatures))
+        raise ValueError(f"unknown processing mode {mode!r}; "
+                         "expected 'stream' or 'batch'")
+
     def run(self, packets: Iterable[Packet], primary_ap: Optional[str] = None,
             update_signatures: bool = True) -> Iterator[PacketEvent]:
-        """Stream packets through the deployment, yielding one event each.
+        """Stream packets, yielding one event each (v0 spelling).
 
-        The primary AP (default: the first AP holding a capture of each
-        packet) runs the ACL and spoofing checks and, when enabled, tracks
-        matching signatures; localisation and the fence use every capture.
+        Shim over :meth:`process` with ``mode="stream"`` — see there for the
+        full contract.
         """
+        return self.process(packets, mode="stream", primary_ap=primary_ap,
+                            update_signatures=update_signatures)
+
+    def run_batch(self, packets: Iterable[Packet],
+                  primary_ap: Optional[str] = None,
+                  update_signatures: bool = True) -> List[PacketEvent]:
+        """Process a whole batch through the batched AoA engine (v0 spelling).
+
+        Shim over :meth:`process` with ``mode="batch"`` — see there for the
+        full contract — returning the events as a list.
+        """
+        return self._process_batch(packets, primary_ap, update_signatures)
+
+    def _process_stream(self, packets: Iterable[Packet],
+                        primary_ap: Optional[str],
+                        update_signatures: bool) -> Iterator[PacketEvent]:
         for index, packet in enumerate(packets):
             start = time.perf_counter()
             estimates = {
@@ -451,20 +458,12 @@ class Deployment:
                 captured_at_s=[packet.captures[primary].timestamp_s])[0]
             event = self._event(index, packet, primary, estimates, observation,
                                 update_signatures)
-            yield self._with_latency(event, time.perf_counter() - start)
+            yield replace(event,
+                          packet_latency_s=time.perf_counter() - start)
 
-    def run_batch(self, packets: Iterable[Packet],
-                  primary_ap: Optional[str] = None,
-                  update_signatures: bool = True) -> List[PacketEvent]:
-        """Process a whole batch through the batched AoA engine.
-
-        Every AP sees all of its captures in one ``analyze_batch`` call;
-        per-packet policy then runs in arrival order, so tracking state
-        evolves exactly as the streaming path's would.  Every event's
-        ``latency_s`` is the batch mean (total wall-clock over the batch
-        divided by its size), so ``1 / mean(latency_s)`` is comparable
-        between :meth:`run` and :meth:`run_batch`.
-        """
+    def _process_batch(self, packets: Iterable[Packet],
+                       primary_ap: Optional[str],
+                       update_signatures: bool) -> List[PacketEvent]:
         packets = list(packets)
         if not packets:
             return []
@@ -493,7 +492,7 @@ class Deployment:
             in enumerate(zip(packets, primaries, observations))
         ]
         latency = (time.perf_counter() - start) / len(packets)
-        return [self._with_latency(event, latency) for event in events]
+        return [replace(event, batch_latency_s=latency) for event in events]
 
     # ---------------------------------------------------------------- internals
     def _primary_name(self, packet: Packet, primary_ap: Optional[str]) -> str:
@@ -555,15 +554,8 @@ class Deployment:
             bearings_deg=bearings,
             location=location,
             fence=fence_check,
-            latency_s=0.0,
             metadata=dict(packet.metadata),
         )
-
-    @staticmethod
-    def _with_latency(event: PacketEvent, latency_s: float) -> PacketEvent:
-        from dataclasses import replace
-
-        return replace(event, latency_s=latency_s)
 
     def __repr__(self) -> str:
         return (f"Deployment({self.spec.name!r}, {len(self.aps)} AP(s), "

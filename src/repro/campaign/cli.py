@@ -11,6 +11,10 @@ One entry point for the whole results pipeline:
   on any host that mounts the store);
 * ``resume`` — continue a stored campaign, skipping completed shards;
 * ``report`` — print the merged results of a stored campaign;
+* ``serve`` — stand up the real-time streaming decision service
+  (:mod:`repro.serve`): named tenants, JSON-lines TCP + websocket endpoints,
+  micro-batched ingest (verify a live stream with
+  ``python -m repro.serve.smoke``);
 * ``list-scenarios`` — the registered scenarios, campaign experiments, and
   serial runners.
 
@@ -328,6 +332,38 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, TenantConfig, run_service
+
+    train = tuple(int(part) for part in args.train.split(",")) \
+        if args.train else ()
+    try:
+        tenants = [TenantConfig.from_cli_arg(text, train=train)
+                   for text in args.tenant]
+    except (KeyError, ValueError, FileNotFoundError) as error:
+        raise SystemExit(f"--tenant: {error}") from error
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        ws_port=args.ws_port,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        backlog_capacity=args.backlog,
+        announce_path=Path(args.announce) if args.announce else None,
+    )
+    if not args.quiet:
+        names = ", ".join(tenant.name for tenant in tenants)
+        sys.stderr.write(f"serving tenant(s) {names} on {config.host}:"
+                         f"{config.port or '<ephemeral>'}"
+                         + (f" (ws {config.ws_port or '<ephemeral>'})"
+                            if config.ws_port is not None else "")
+                         + "\n")
+        if config.announce_path is not None:
+            sys.stderr.write(f"announce file: {config.announce_path}\n")
+    run_service(tenants, config)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     spec = store.require_spec()
@@ -459,6 +495,44 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="print the merged results of a stored campaign")
     report.add_argument("store", help="result-store directory")
     report.set_defaults(handler=_cmd_report)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the real-time streaming decision service (repro.serve)",
+        description="Stand up the streaming decision service: each --tenant "
+                    "NAME=SCENARIO compiles a named deployment (scenario "
+                    "registry name or a ScenarioSpec .json path), packets "
+                    "are ingested as JSON-lines requests over TCP (and "
+                    "optionally websocket), micro-batched through the "
+                    "run_batch fast path, and decisions stream back live. "
+                    "Verify a stream with: python -m repro.serve.smoke "
+                    "--announce FILE")
+    serve.add_argument("--tenant", action="append", required=True,
+                       metavar="NAME=SCENARIO",
+                       help="add a tenant (repeatable); SCENARIO is a "
+                            "registered scenario name or a spec .json path")
+    serve.add_argument("--train", default="", metavar="ID1,ID2,...",
+                       help="client ids to train at startup (applies to "
+                            "every tenant; default: none)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP JSON-lines port (0 = ephemeral; default 8765)")
+    serve.add_argument("--ws-port", type=int, default=None, metavar="PORT",
+                       help="also serve websocket on this port (0 = ephemeral; "
+                            "default: no websocket endpoint)")
+    serve.add_argument("--announce", default=None, metavar="PATH",
+                       help="atomically write the bound addresses to this "
+                            "JSON file once listening")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="micro-batch size cap (default 16)")
+    serve.add_argument("--max-delay-ms", type=float, default=20.0,
+                       help="micro-batching latency budget in milliseconds "
+                            "(default 20)")
+    serve.add_argument("--backlog", type=int, default=1024,
+                       help="per-tenant event ring capacity (default 1024)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress startup logs")
+    serve.set_defaults(handler=_cmd_serve)
 
     listing = commands.add_parser(
         "list-scenarios", help="list scenarios, campaigns, and experiments")

@@ -307,8 +307,10 @@ def check_precision_discipline(context: FileContext) -> Iterator[Violation]:
 
 
 # ---------------------------------------------------------------- atomic-write
-#: Package whose on-disk artifacts must survive kill -9 (shared stores).
-_CAMPAIGN_PACKAGE = "repro/campaign/"
+#: Packages whose on-disk artifacts other processes watch: campaign stores
+#: are shared across workers that may die mid-write, and the serve announce
+#: file is polled by clients racing the server's startup.
+_ATOMIC_PACKAGES = ("repro/campaign/", "repro/serve/")
 
 _WRITE_METHODS = ("write_text", "write_bytes")
 
@@ -335,12 +337,13 @@ def _function_calls_os_replace(function: ast.AST) -> bool:
 
 @rule(
     "atomic-write",
-    "campaign store files must be written with the tmp + os.replace idiom "
-    "(ResultStore._write_atomic); a bare open(path, 'w') or write_text can "
-    "leave a torn record behind a crashed worker")
+    "campaign-store and serve files must be written with the tmp + "
+    "os.replace idiom (ResultStore._write_atomic); a bare open(path, 'w') "
+    "or write_text can leave a torn record behind a crashed worker or a "
+    "torn announce document under a polling client")
 def check_atomic_write(context: FileContext) -> Iterator[Violation]:
     path = context.relpath.replace("\\", "/")
-    if _CAMPAIGN_PACKAGE not in path:
+    if not any(package in path for package in _ATOMIC_PACKAGES):
         return
     # Walk functions so a write inside the tmp+os.replace idiom itself
     # (the function also calls os.replace) is recognised as the idiom.
@@ -365,16 +368,81 @@ def check_atomic_write(context: FileContext) -> Iterator[Violation]:
             if mode is not None:
                 yield context.violation(
                     "atomic-write", node,
-                    f"bare open(..., {mode!r}) in the campaign package; "
-                    "write through ResultStore._write_atomic (tmp + "
-                    "os.replace) or document why a torn file is harmless")
+                    f"bare open(..., {mode!r}) in a watched package; use "
+                    "the tmp + os.replace idiom (ResultStore._write_atomic) "
+                    "or document why a torn file is harmless")
         elif (isinstance(node.func, ast.Attribute)
                 and node.func.attr in _WRITE_METHODS):
             yield context.violation(
                 "atomic-write", node,
-                f".{node.func.attr}() in the campaign package; write "
-                "through ResultStore._write_atomic (tmp + os.replace) or "
-                "document why a torn file is harmless")
+                f".{node.func.attr}() in a watched package; use the tmp + "
+                "os.replace idiom (ResultStore._write_atomic) or document "
+                "why a torn file is harmless")
+
+
+# -------------------------------------------------------------- async-blocking
+#: Package whose async functions run on the service event loop.
+_SERVE_PACKAGE = "repro/serve/"
+
+#: Synchronous calls that stall an event loop (use the asyncio counterpart,
+#: or hoist the work into a sync helper invoked off-loop / per micro-batch).
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system", "os.popen", "os.wait",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "urllib.request.urlopen",
+})
+
+#: Blocking file-I/O method names (Path.read_text and friends).
+_BLOCKING_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+@rule(
+    "async-blocking",
+    "async functions in repro.serve run on the shared event loop and must "
+    "not call blocking I/O (time.sleep, open, Path read/write methods, "
+    "subprocess); use the asyncio counterpart or a sync helper run "
+    "off-loop")
+def check_async_blocking(context: FileContext) -> Iterator[Violation]:
+    path = context.relpath.replace("\\", "/")
+    if _SERVE_PACKAGE not in path:
+        return
+    functions = [node for node in ast.walk(context.tree)
+                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    owner: Dict[int, ast.AST] = {}
+    # Outer functions are walked first, so plain assignment leaves each node
+    # owned by its *innermost* function — a sync def nested inside an async
+    # def is therefore (correctly) not treated as loop-resident code.
+    for function in functions:
+        for node in ast.walk(function):
+            owner[id(node)] = function
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(owner.get(id(node)), ast.AsyncFunctionDef):
+            continue
+        name = dotted_name(node.func)
+        if name in _BLOCKING_CALLS:
+            yield context.violation(
+                "async-blocking", node,
+                f"{name}() blocks the event loop; every tenant and "
+                "connection shares it — use the asyncio counterpart "
+                "(e.g. await asyncio.sleep) or run the work off-loop")
+        elif isinstance(node.func, ast.Name) and node.func.id == "open":
+            yield context.violation(
+                "async-blocking", node,
+                "open() inside an async function blocks the event loop; "
+                "do file I/O in a sync helper outside the coroutine (the "
+                "announce writer pattern) or via run_in_executor")
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS):
+            yield context.violation(
+                "async-blocking", node,
+                f".{node.func.attr}() inside an async function blocks the "
+                "event loop; do file I/O in a sync helper outside the "
+                "coroutine or via run_in_executor")
 
 
 # ------------------------------------------------------ frozen-config-mutation

@@ -1,0 +1,211 @@
+"""A bounded ring buffer of recent events with subscriber cursors.
+
+The service keeps the last ``capacity`` decisions per tenant in a
+:class:`Backlog` (modeled on ESPARGOS's ``backlog.py``/``pool.py`` pattern of
+subscriber callbacks over a ring buffer).  Publishing never blocks: when the
+ring is full the oldest event is dropped (**drop-oldest**), so a stalled
+consumer can never wedge the ingest path.
+
+Consumers come in two shapes:
+
+* **Callbacks** — :meth:`Backlog.add_callback` registers a synchronous
+  ``callback(item, seq)`` fired inline on every publish (the ESPARGOS
+  style); use for in-process taps like metrics.
+* **Subscriptions** — :meth:`Backlog.subscribe` returns a
+  :class:`BacklogSubscription` holding a **per-subscriber cursor** into the
+  shared ring.  Each subscriber drains at its own pace; a slow subscriber
+  whose cursor falls off the ring loses exactly the dropped span and the
+  loss is *accounted* (:attr:`BacklogSubscription.lagged`), never silent.
+
+Everything is single-event-loop concurrency: no locks, publishes are plain
+method calls, and ``await``-ing subscribers are woken through one-shot
+futures.  The synchronous surface (publish/collect) also works with no event
+loop at all, which keeps unit tests and offline replays trivial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Backlog", "BacklogSubscription"]
+
+#: ``callback(item, seq)`` fired synchronously on every publish.
+Callback = Callable[[Any, int], None]
+
+
+class Backlog:
+    """A drop-oldest ring buffer of published items with monotonic seqs."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"backlog capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: Deque[Any] = deque()
+        #: Sequence number of ``self._ring[0]`` (== next_seq when empty).
+        self._first_seq = 0
+        #: Sequence number the next published item will get.
+        self._next_seq = 0
+        #: Items dropped off the tail over the backlog's lifetime.
+        self._dropped = 0
+        self._closed = False
+        self._callbacks: Dict[int, Callback] = {}
+        self._next_callback_id = 0
+        self._waiters: List["asyncio.Future[None]"] = []
+
+    # ------------------------------------------------------------- properties
+    @property
+    def first_seq(self) -> int:
+        """Sequence number of the oldest item still in the ring."""
+        return self._first_seq
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next published item will receive."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Total items dropped off the tail since construction."""
+        return self._dropped
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` was called (no further publishes)."""
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -------------------------------------------------------------- publishing
+    def publish(self, item: Any) -> int:
+        """Append ``item``, dropping the oldest entry when full.
+
+        Fires every registered callback synchronously, wakes blocked
+        subscribers, and returns the item's sequence number.  Never blocks.
+        """
+        if self._closed:
+            raise RuntimeError("cannot publish to a closed backlog")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._ring.append(item)
+        if len(self._ring) > self.capacity:
+            self._ring.popleft()
+            self._first_seq += 1
+            self._dropped += 1
+        for callback in list(self._callbacks.values()):
+            callback(item, seq)
+        self._wake()
+        return seq
+
+    def close(self) -> None:
+        """Stop the stream: publishes fail, blocked subscribers drain out."""
+        self._closed = True
+        self._wake()
+
+    # -------------------------------------------------------------- consumers
+    def add_callback(self, callback: Callback) -> int:
+        """Register ``callback(item, seq)`` fired on every publish."""
+        handle = self._next_callback_id
+        self._next_callback_id += 1
+        self._callbacks[handle] = callback
+        return handle
+
+    def remove_callback(self, handle: int) -> None:
+        """Unregister a callback by the handle :meth:`add_callback` returned."""
+        self._callbacks.pop(handle, None)
+
+    def subscribe(self, from_seq: Optional[int] = None) -> "BacklogSubscription":
+        """A new subscription with its own cursor.
+
+        ``from_seq=None`` starts at the live head (only future items);
+        ``from_seq=0`` replays everything still in the ring.  A ``from_seq``
+        older than the ring's tail is clamped and the skipped span counts as
+        lag for this subscriber.
+        """
+        cursor = self._next_seq if from_seq is None else int(from_seq)
+        if cursor < 0 or cursor > self._next_seq:
+            raise ValueError(
+                f"from_seq must be in [0, {self._next_seq}], got {from_seq}")
+        return BacklogSubscription(self, cursor)
+
+    def slice_from(self, cursor: int) -> Tuple[List[Any], int, int]:
+        """``(items, new_cursor, dropped)`` for everything at/after ``cursor``.
+
+        ``dropped`` is how many items between ``cursor`` and the ring's tail
+        were already evicted (a slow reader's loss).
+        """
+        dropped = max(0, self._first_seq - cursor)
+        start = max(cursor, self._first_seq)
+        items = list(self._ring)[start - self._first_seq:]
+        return items, self._next_seq, dropped
+
+    # --------------------------------------------------------------- waiting
+    async def wait_for_publish(self) -> None:
+        """Block until the next publish (or close).  Spurious wakes possible."""
+        if self._closed:
+            return
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[None]" = loop.create_future()
+        self._waiters.append(waiter)
+        try:
+            await waiter
+        finally:
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+
+    def _wake(self) -> None:
+        for waiter in self._waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+        self._waiters.clear()
+
+
+class BacklogSubscription:
+    """One consumer's cursor into a :class:`Backlog`."""
+
+    def __init__(self, backlog: Backlog, cursor: int) -> None:
+        self.backlog = backlog
+        #: Next sequence number this subscriber has not consumed yet.
+        self.cursor = cursor
+        #: Total items this subscriber lost to drop-oldest eviction.
+        self.lagged = 0
+        self._unreported_lag = 0
+
+    @property
+    def pending(self) -> int:
+        """Published-but-unconsumed items (including already-evicted ones)."""
+        return self.backlog.next_seq - self.cursor
+
+    def collect(self) -> List[Any]:
+        """Everything published since the last collect (non-blocking).
+
+        Advances the cursor.  Items this subscriber was too slow for are
+        added to :attr:`lagged` and reported once by :meth:`consume_lag`.
+        """
+        items, self.cursor, dropped = self.backlog.slice_from(self.cursor)
+        if dropped:
+            self.lagged += dropped
+            self._unreported_lag += dropped
+        return items
+
+    def consume_lag(self) -> int:
+        """Lag accumulated since the last call (and reset the report)."""
+        lag = self._unreported_lag
+        self._unreported_lag = 0
+        return lag
+
+    async def next_batch(self) -> List[Any]:
+        """Block until at least one new item, then collect it.
+
+        Returns an empty list only when the backlog is closed and fully
+        drained — the subscriber's end-of-stream signal.
+        """
+        while True:
+            items = self.collect()
+            if items:
+                return items
+            if self.backlog.closed:
+                return []
+            await self.backlog.wait_for_publish()

@@ -1,0 +1,142 @@
+"""Micro-batching of packet arrivals under a latency budget.
+
+``Deployment.run_batch`` amortises capture synthesis and MUSIC analysis over
+a whole batch (PR 1/PR 3), but a live service receives packets one at a
+time.  :class:`MicroBatcher` bridges the two: arrivals accumulate in a FIFO
+and are released as one batch when either
+
+* ``max_batch`` items are waiting (the batch is full), or
+* ``max_delay_s`` has elapsed since the *oldest* waiting item arrived
+  (the latency budget is spent), or
+* the batcher is closed (the final partial batch flushes).
+
+Because decisions are batch-partition invariant (the PR 1 shared-kernel
+guarantee, pinned by ``tests/test_synthesis_batch_equivalence.py``), *any*
+chop the batcher produces yields bit-identical decisions — the knobs trade
+throughput against decision latency without touching results.
+
+Implementation note: this deliberately does not use ``asyncio.Queue`` +
+``wait_for``.  On Python 3.9, cancelling ``queue.get()`` on timeout can lose
+a retrieved item to the race between fulfilment and cancellation; a plain
+``deque`` drained synchronously plus one-shot wake futures has no such
+window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Group single arrivals into batches under a latency budget."""
+
+    def __init__(self, max_batch: int = 16, max_delay_s: float = 0.02,
+                 max_pending: int = 4096) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        if max_pending < max_batch:
+            raise ValueError("max_pending must be >= max_batch")
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self.max_pending = int(max_pending)
+        self._pending: Deque[Any] = deque()
+        #: Loop time the oldest pending item arrived (None when empty).
+        self._oldest_s: Optional[float] = None
+        self._closed = False
+        self._arrival_waiters: List["asyncio.Future[None]"] = []
+        self._space_waiters: List["asyncio.Future[None]"] = []
+        #: Totals for the stats endpoint.
+        self.submitted = 0
+        self.batches = 0
+        self.flushed = 0
+
+    # -------------------------------------------------------------- producers
+    @property
+    def pending(self) -> int:
+        """Items waiting for the next batch."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def put(self, item: Any) -> None:
+        """Enqueue one arrival, blocking while the FIFO is at ``max_pending``.
+
+        The block is the service's backpressure: a producer outrunning the
+        pipeline waits here instead of growing memory without bound.
+        """
+        while len(self._pending) >= self.max_pending and not self._closed:
+            await self._wait(self._space_waiters)
+        if self._closed:
+            raise RuntimeError("cannot put into a closed batcher")
+        if not self._pending:
+            self._oldest_s = asyncio.get_running_loop().time()
+        self._pending.append(item)
+        self.submitted += 1
+        self._wake(self._arrival_waiters)
+
+    def close(self) -> None:
+        """No further puts; pending items drain as one final batch."""
+        self._closed = True
+        self._wake(self._arrival_waiters)
+        self._wake(self._space_waiters)
+
+    # -------------------------------------------------------------- consumer
+    async def next_batch(self) -> List[Any]:
+        """The next batch, honouring the size and latency budgets.
+
+        Returns ``[]`` exactly once the batcher is closed and drained —
+        the consumer's end-of-stream signal.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            if len(self._pending) >= self.max_batch or self._closed:
+                break
+            if self._pending:
+                elapsed = loop.time() - (self._oldest_s or 0.0)
+                remaining = self.max_delay_s - elapsed
+                if remaining <= 0:
+                    break
+                await self._wait(self._arrival_waiters, timeout=remaining)
+            else:
+                await self._wait(self._arrival_waiters)
+        batch = [self._pending.popleft()
+                 for _ in range(min(self.max_batch, len(self._pending)))]
+        self._oldest_s = loop.time() if self._pending else None
+        if batch:
+            self.batches += 1
+            self.flushed += len(batch)
+            self._wake(self._space_waiters)
+        return batch
+
+    # --------------------------------------------------------------- waiting
+    async def _wait(self, waiters: List["asyncio.Future[None]"],
+                    timeout: Optional[float] = None) -> None:
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[None]" = loop.create_future()
+        waiters.append(waiter)
+        handle: Optional[asyncio.TimerHandle] = None
+        if timeout is not None:
+            handle = loop.call_later(
+                timeout, lambda: waiter.done() or waiter.set_result(None))
+        try:
+            await waiter
+        finally:
+            if handle is not None:
+                handle.cancel()
+            if waiter in waiters:
+                waiters.remove(waiter)
+
+    @staticmethod
+    def _wake(waiters: List["asyncio.Future[None]"]) -> None:
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+        waiters.clear()

@@ -1,0 +1,190 @@
+"""The service: tenants + transports + lifecycle under one event loop.
+
+:class:`SecureAngleService` owns the tenant table, binds the JSON-lines TCP
+endpoint and (optionally) the websocket endpoint, and runs every tenant's
+worker coroutine.  Binding port ``0`` asks the OS for ephemeral ports; the
+*announce file* (``--announce``) then publishes the actually-bound addresses
+as JSON — written atomically (tmp + ``os.replace``) so a watching test or CI
+job never reads a torn document.
+
+:func:`run_service` is the blocking entry point the CLI uses: it stands the
+service up, serves until SIGINT/SIGTERM, and tears down cleanly (flushing
+every tenant's pending micro-batches so subscribers see ``end``, not a
+dropped connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.serve.tenants import Tenant, TenantConfig
+from repro.serve.transports import serve_tcp_connection, serve_ws_connection
+
+__all__ = ["SecureAngleService", "ServeConfig", "run_service"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-level knobs (tenant pipelines all share these budgets)."""
+
+    host: str = "127.0.0.1"
+    #: TCP JSON-lines port (0 = ephemeral, published via the announce file).
+    port: int = 0
+    #: Websocket port (None = no websocket endpoint, 0 = ephemeral).
+    ws_port: Optional[int] = None
+    #: Micro-batching: flush at this many pending requests ...
+    max_batch: int = 16
+    #: ... or once the oldest pending request has waited this long.
+    max_delay_s: float = 0.02
+    #: Ingest FIFO bound per tenant (producers block beyond it).
+    max_pending: int = 4096
+    #: Ring-buffer capacity of each tenant's event backlog.
+    backlog_capacity: int = 1024
+    #: Where to atomically publish the bound addresses as JSON.
+    announce_path: Optional[Path] = None
+
+
+class SecureAngleService:
+    """A running multi-tenant decision service."""
+
+    def __init__(self, tenant_configs: Sequence[TenantConfig],
+                 config: ServeConfig = ServeConfig()) -> None:
+        if not tenant_configs:
+            raise ValueError("a service needs at least one tenant")
+        names = [tenant.name for tenant in tenant_configs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+        self.config = config
+        self.tenants: Dict[str, Tenant] = {
+            tenant_config.name: Tenant(
+                tenant_config,
+                max_batch=config.max_batch,
+                max_delay_s=config.max_delay_s,
+                max_pending=config.max_pending,
+                backlog_capacity=config.backlog_capacity,
+            )
+            for tenant_config in tenant_configs
+        }
+        self._servers: List[asyncio.AbstractServer] = []
+        self._stopping: Optional["asyncio.Event"] = None
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the endpoints, start every tenant worker, announce."""
+        self._stopping = asyncio.Event()
+        for tenant in self.tenants.values():
+            tenant.start()
+        tcp_server = await asyncio.start_server(
+            lambda reader, writer: serve_tcp_connection(self, reader, writer),
+            host=self.config.host, port=self.config.port)
+        self._servers.append(tcp_server)
+        if self.config.ws_port is not None:
+            ws_server = await asyncio.start_server(
+                lambda reader, writer: serve_ws_connection(self, reader, writer),
+                host=self.config.host, port=self.config.ws_port)
+            self._servers.append(ws_server)
+        if self.config.announce_path is not None:
+            _write_json_atomically(self.config.announce_path, self.announcement())
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`request_stop` (or :meth:`stop`) is called."""
+        if self._stopping is None:
+            raise RuntimeError("serve_forever() before start()")
+        await self._stopping.wait()
+
+    def request_stop(self) -> None:
+        """Signal-handler-safe: unblock :meth:`serve_forever`."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def stop(self) -> None:
+        """Drain tenants (flushing pending batches), then close sockets."""
+        self.request_stop()
+        for tenant in self.tenants.values():
+            await tenant.stop()
+        servers, self._servers = self._servers, []
+        for server in servers:
+            server.close()
+            await server.wait_closed()
+
+    # ------------------------------------------------------------ observability
+    @property
+    def tcp_address(self) -> Tuple[str, int]:
+        """The bound (host, port) of the JSON-lines endpoint."""
+        return self._bound_address(0)
+
+    @property
+    def ws_address(self) -> Optional[Tuple[str, int]]:
+        """The bound (host, port) of the websocket endpoint, if enabled."""
+        if self.config.ws_port is None:
+            return None
+        return self._bound_address(1)
+
+    def _bound_address(self, index: int) -> Tuple[str, int]:
+        if index >= len(self._servers):
+            raise RuntimeError("service is not started")
+        sockets = self._servers[index].sockets or []
+        name = sockets[0].getsockname()
+        return str(name[0]), int(name[1])
+
+    def announcement(self) -> Dict[str, Any]:
+        """The JSON document published to the announce file."""
+        host, port = self.tcp_address
+        ws = self.ws_address
+        return {
+            "host": host,
+            "tcp_port": port,
+            "ws_port": None if ws is None else ws[1],
+            "tenants": sorted(self.tenants),
+            "pid": os.getpid(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-tenant counters for the ``stats`` op."""
+        report: Dict[str, Any] = {}
+        for name, tenant in self.tenants.items():
+            snapshot = tenant.stats.snapshot()
+            snapshot["pending"] = tenant.batcher.pending
+            snapshot["backlog_dropped"] = tenant.backlog.dropped
+            report[name] = snapshot
+        return report
+
+
+def _write_json_atomically(path: Path, payload: Dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` with no torn-read window."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def run_service(tenant_configs: Sequence[TenantConfig],
+                config: ServeConfig = ServeConfig(),
+                announce: Optional[Union[str, Path]] = None) -> None:
+    """Stand the service up and serve until SIGINT/SIGTERM (blocking)."""
+    if announce is not None:
+        from dataclasses import replace as _replace
+        config = _replace(config, announce_path=Path(announce))
+
+    async def _main() -> None:
+        service = SecureAngleService(tenant_configs, config)
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, service.request_stop)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    asyncio.run(_main())

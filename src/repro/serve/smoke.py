@@ -1,0 +1,211 @@
+"""End-to-end smoke client: live stream vs offline replay, byte for byte.
+
+``python -m repro.serve.smoke --announce serve.json`` connects to a running
+service (waiting for the announce file to appear), and for every tenant:
+
+1. fetches the tenant's full scenario document via the ``tenants`` op and
+   rebuilds the **identical deployment offline** (same spec, same training);
+2. subscribes from sequence 0, submits a seeded burst of packet requests,
+   and collects the streamed events;
+3. replays the same request list through
+   :func:`repro.serve.ingest.replay_events` — one offline ``run_batch`` —
+   and compares the two event lists **byte-for-byte** as canonical JSON,
+   after stripping only the volatile latency fields.
+
+Exit code 0 means every tenant streamed exactly what the offline batch path
+computes; anything else is a determinism regression.  This is the check CI's
+``serve-smoke`` job runs against a real server process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.spec import ScenarioSpec
+from repro.serve.ingest import PacketRequest, replay_events
+from repro.serve.tenants import TenantConfig
+
+__all__ = ["canonical_event", "main", "seeded_requests"]
+
+
+def canonical_event(document: Dict[str, Any]) -> str:
+    """One event's canonical byte form, latency fields stripped.
+
+    The latency fields are wall-clock measurements — the only legitimately
+    non-deterministic part of an event.  Everything else must match.
+    """
+    stripped = {key: value for key, value in document.items()
+                if key not in ("packet_latency_s", "batch_latency_s")}
+    return json.dumps(stripped, sort_keys=True)
+
+
+def seeded_requests(config: TenantConfig,
+                    num_packets: int) -> List[PacketRequest]:
+    """The deterministic request burst both sides process.
+
+    Walks the tenant's trained clients (or, untrained, every client in the
+    scenario's roster order) round-robin on a fixed timestamp grid — purely
+    a function of the tenant config, so the client and any auditor can
+    regenerate it.
+    """
+    client_ids = list(config.train)
+    if not client_ids:
+        client_ids = sorted(config.spec.clients) if config.spec.clients else [5]
+    return [
+        PacketRequest(client_id=client_ids[index % len(client_ids)],
+                      timestamp_s=30.0 + 0.5 * index)
+        for index in range(num_packets)
+    ]
+
+
+class SmokeClient:
+    """A minimal JSON-lines protocol client."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        self.writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await self.writer.drain()
+
+    async def receive(self) -> Dict[str, Any]:
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        message = json.loads(line)
+        if message.get("op") == "error":
+            raise RuntimeError(f"server error: {message.get('error')}")
+        assert isinstance(message, dict)
+        return message
+
+    async def receive_op(self, op: str) -> Dict[str, Any]:
+        """The next message of the wanted op (skipping unrelated ones)."""
+        while True:
+            message = await self.receive()
+            if message.get("op") == op:
+                return message
+
+
+async def _verify_tenant(client: SmokeClient, config: TenantConfig,
+                         num_packets: int) -> Tuple[bool, str]:
+    requests = seeded_requests(config, num_packets)
+
+    await client.send({"op": "subscribe", "tenant": config.name, "from_seq": 0})
+    await client.receive_op("subscribed")
+    await client.send({"op": "submit", "tenant": config.name,
+                       "requests": [request.to_dict() for request in requests]})
+    ack = await client.receive_op("ack")
+    if ack["seqs"] != list(range(len(requests))):
+        return False, f"unexpected ack sequence numbers: {ack['seqs']}"
+
+    streamed: List[Dict[str, Any]] = []
+    while len(streamed) < len(requests):
+        message = await client.receive()
+        if message.get("op") == "lag":
+            return False, f"backlog lag during smoke run: {message}"
+        if message.get("op") == "event" and message.get("tenant") == config.name:
+            streamed.append(message["event"])
+
+    # The offline reference: identical deployment, identical request order,
+    # one big run_batch.
+    reference = replay_events(config.build(), requests,
+                              primary_ap=config.primary_ap,
+                              update_signatures=config.update_signatures)
+
+    live = [canonical_event(event) for event in streamed]
+    offline = [canonical_event(event.to_dict()) for event in reference]
+    if live == offline:
+        accepted = sum(1 for event in reference if event.accepted)
+        return True, (f"{len(live)} events byte-identical "
+                      f"({accepted}/{len(live)} accepted)")
+    for index, (a, b) in enumerate(zip(live, offline)):
+        if a != b:
+            return False, (f"event {index} diverged:\n  live:    {a}\n"
+                           f"  offline: {b}")
+    return False, f"event count mismatch: {len(live)} live vs {len(offline)}"
+
+
+async def _run(host: str, port: int, num_packets: int) -> int:
+    reader, writer = await asyncio.open_connection(host, port)
+    client = SmokeClient(reader, writer)
+    try:
+        hello = await client.receive_op("hello")
+        print(f"connected: schema v{hello['schema_version']}, "
+              f"tenants {hello['tenants']}")
+        await client.send({"op": "tenants"})
+        table = await client.receive_op("tenants")
+        failures = 0
+        for entry in table["tenants"]:
+            config = TenantConfig(
+                name=entry["name"],
+                spec=ScenarioSpec.from_dict(entry["scenario"]),
+                train=tuple(entry["train"]),
+                update_signatures=entry["update_signatures"],
+                primary_ap=entry["primary_ap"],
+            )
+            ok, detail = await _verify_tenant(client, config, num_packets)
+            marker = "ok" if ok else "FAIL"
+            print(f"  [{marker}] {config.name}: {detail}")
+            failures += 0 if ok else 1
+        await client.send({"op": "stats"})
+        stats = await client.receive_op("stats")
+        print("server stats: " + json.dumps(stats["stats"], sort_keys=True))
+        return 1 if failures else 0
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _wait_for_announce(path: Path, timeout_s: float) -> Dict[str, Any]:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if path.exists():
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+                assert isinstance(document, dict)
+                return document
+            except json.JSONDecodeError:
+                pass  # unreachable for atomic writers; poll again anyway
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"announce file {path} did not appear within {timeout_s:.0f}s")
+        time.sleep(0.1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verify a live repro.serve stream against offline replay")
+    parser.add_argument("--announce", type=Path,
+                        help="announce file written by `repro serve --announce`")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int,
+                        help="TCP port (overrides the announce file)")
+    parser.add_argument("--packets", type=int, default=16,
+                        help="seeded packets per tenant (default 16)")
+    parser.add_argument("--wait-s", type=float, default=30.0,
+                        help="how long to wait for the announce file")
+    args = parser.parse_args(argv)
+
+    host, port = args.host, args.port
+    if args.announce is not None:
+        announcement = _wait_for_announce(args.announce, args.wait_s)
+        host = announcement["host"]
+        port = announcement["tcp_port"] if port is None else port
+    if port is None:
+        parser.error("provide --port or --announce")
+    return asyncio.run(_run(host, port, args.packets))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

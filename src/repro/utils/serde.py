@@ -67,7 +67,9 @@ def _coerce_key(hint: Any, key: Any) -> Any:
 
 def from_jsonable(hint: Any, data: Any) -> Any:
     """Rebuild a value of declared type ``hint`` from JSON primitives."""
-    if hint is Any or hint is None or hint is type(None):
+    if hint is Any or hint is object or hint is None or hint is type(None):
+        # ``object`` is the "anything JSON-shaped" hint (free-form metadata
+        # mappings); like ``Any`` it passes primitives through untouched.
         return data
     origin = typing.get_origin(hint)
     if origin is Union:

@@ -102,7 +102,7 @@ class TestStreaming:
             assert event.source == address
             assert event.verdict in ("accept", "drop", "flag")
             assert abs(event.bearings_deg["ap-main"] - truth) < 10.0
-            assert event.latency_s > 0.0
+            assert event.packet_latency_s > 0.0
             assert event.location is None  # one AP cannot triangulate
             assert event.metadata["client_id"] == client_id
         assert sum(event.accepted for event in events) >= 2

@@ -266,6 +266,114 @@ class TestAtomicWrite:
         assert report.suppressed_by_pragma == 1
 
 
+class TestAtomicWriteInServe:
+    def test_announce_write_text_in_serve_fires(self, tmp_path):
+        # The announce file is polled by clients racing server startup; a
+        # torn document would crash their JSON parse.
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            def announce(path, text):
+                path.write_text(text)
+            """}, rule="atomic-write")
+        assert len(rule_hits(report, "atomic-write")) == 1
+
+    def test_tmp_plus_replace_in_serve_is_the_idiom(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import os
+
+            def announce(path, text):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)
+            """}, rule="atomic-write")
+        assert report.violations == []
+
+
+# ----------------------------------------------------------- async-blocking
+class TestAsyncBlocking:
+    def test_time_sleep_in_async_def_fires(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import time
+
+            async def worker():
+                time.sleep(0.1)
+            """}, rule="async-blocking")
+        hits = rule_hits(report, "async-blocking")
+        assert len(hits) == 1
+        assert "asyncio.sleep" in hits[0].message
+
+    def test_asyncio_sleep_is_free(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import asyncio
+
+            async def worker():
+                await asyncio.sleep(0.1)
+            """}, rule="async-blocking")
+        assert report.violations == []
+
+    def test_open_and_path_io_in_async_def_fire(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            async def snapshot(path, out):
+                body = path.read_text()
+                with open(out, "w") as fh:
+                    fh.write(body)
+                out.write_bytes(b"")
+            """}, rule="async-blocking")
+        assert len(rule_hits(report, "async-blocking")) == 3
+
+    def test_subprocess_in_async_def_fires(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import subprocess
+
+            async def shell(cmd):
+                return subprocess.run(cmd)
+            """}, rule="async-blocking")
+        assert len(rule_hits(report, "async-blocking")) == 1
+
+    def test_sync_helper_nested_in_async_def_is_free(self, tmp_path):
+        # A sync def nested inside a coroutine is not loop-resident per se
+        # (it may be handed to run_in_executor); only direct calls in the
+        # async body are flagged.
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import asyncio
+
+            async def snapshot(path, text):
+                def write():
+                    path.write_text(text)
+                await asyncio.get_running_loop().run_in_executor(None, write)
+            """}, rule="async-blocking")
+        assert report.violations == []
+
+    def test_sync_functions_in_serve_are_free(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import time
+
+            def wait_for_file(path, timeout_s):
+                time.sleep(timeout_s)
+                return path.read_text()
+            """}, rule="async-blocking")
+        assert report.violations == []
+
+    def test_outside_serve_package_is_free(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/campaign/thing.py": """
+            import time
+
+            async def worker():
+                time.sleep(0.1)
+            """}, rule="async-blocking")
+        assert report.violations == []
+
+    def test_pragma_suppression_works(self, tmp_path):
+        report = run_lint(tmp_path, {"src/repro/serve/thing.py": """
+            import time
+
+            async def calibrated_stall():
+                time.sleep(0.001)  # repro-lint: disable=async-blocking
+            """}, rule="async-blocking")
+        assert report.violations == []
+        assert report.suppressed_by_pragma == 1
+
+
 # ------------------------------------------------- frozen-config-mutation
 class TestFrozenConfigMutation:
     def test_setattr_outside_frozen_body_fires(self, tmp_path):
@@ -486,10 +594,10 @@ class TestCli:
 
 # -------------------------------------------------------------- self-check
 class TestSelfCheck:
-    def test_rule_registry_has_the_documented_six(self):
+    def test_rule_registry_has_the_documented_seven(self):
         expected = {"seam-bypass", "rng-discipline", "precision-discipline",
                     "atomic-write", "frozen-config-mutation",
-                    "registry-completeness"}
+                    "registry-completeness", "async-blocking"}
         assert expected <= set(RULES)
         for rule in RULES.values():
             assert rule.description

@@ -1,0 +1,296 @@
+"""The serve primitives: backlog ring semantics and micro-batch budgets.
+
+Everything here runs real coroutines via ``asyncio.run`` (the container has
+no pytest-asyncio) — the helpers below keep that boilerplate out of the
+tests.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import Backlog, MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ------------------------------------------------------------------ backlog
+class TestBacklogRing:
+    def test_publish_assigns_monotonic_seqs(self):
+        backlog = Backlog(capacity=8)
+        assert [backlog.publish(chr(97 + i)) for i in range(3)] == [0, 1, 2]
+        assert backlog.next_seq == 3
+        assert backlog.first_seq == 0
+        assert len(backlog) == 3
+
+    def test_overflow_drops_oldest(self):
+        backlog = Backlog(capacity=3)
+        for index in range(5):
+            backlog.publish(index)
+        # Items 0 and 1 fell off the tail; 2, 3, 4 remain.
+        assert backlog.dropped == 2
+        assert backlog.first_seq == 2
+        items, cursor, dropped = backlog.slice_from(0)
+        assert items == [2, 3, 4]
+        assert cursor == 5
+        assert dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Backlog(capacity=0)
+
+    def test_publish_after_close_raises(self):
+        backlog = Backlog()
+        backlog.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backlog.publish("x")
+
+    def test_callbacks_fire_inline_and_unregister(self):
+        backlog = Backlog()
+        seen = []
+        handle = backlog.add_callback(lambda item, seq: seen.append((item, seq)))
+        backlog.publish("a")
+        backlog.remove_callback(handle)
+        backlog.publish("b")
+        assert seen == [("a", 0)]
+
+
+class TestSubscriberCursors:
+    def test_subscribe_from_live_head_sees_only_future_items(self):
+        backlog = Backlog()
+        backlog.publish("past")
+        subscription = backlog.subscribe()
+        backlog.publish("future")
+        assert subscription.collect() == ["future"]
+        assert subscription.lagged == 0
+
+    def test_subscribe_from_zero_replays_the_ring(self):
+        backlog = Backlog()
+        backlog.publish("a")
+        backlog.publish("b")
+        subscription = backlog.subscribe(from_seq=0)
+        assert subscription.collect() == ["a", "b"]
+        assert subscription.collect() == []
+
+    def test_subscribe_beyond_head_rejected(self):
+        backlog = Backlog()
+        with pytest.raises(ValueError, match="from_seq"):
+            backlog.subscribe(from_seq=5)
+
+    def test_slow_subscriber_lag_is_accounted_not_silent(self):
+        backlog = Backlog(capacity=4)
+        subscription = backlog.subscribe()
+        for index in range(10):
+            backlog.publish(index)
+        # Cursor 0 but only 6..9 remain: exactly 6 items were lost.
+        assert subscription.collect() == [6, 7, 8, 9]
+        assert subscription.lagged == 6
+        assert subscription.consume_lag() == 6
+        assert subscription.consume_lag() == 0  # reported once
+        # Having caught up, the subscriber loses nothing more.
+        backlog.publish(10)
+        assert subscription.collect() == [10]
+        assert subscription.lagged == 6
+
+    def test_independent_cursors_per_subscriber(self):
+        backlog = Backlog()
+        fast = backlog.subscribe()
+        slow = backlog.subscribe()
+        backlog.publish("a")
+        assert fast.collect() == ["a"]
+        backlog.publish("b")
+        assert fast.collect() == ["b"]
+        assert slow.collect() == ["a", "b"]
+        assert slow.pending == 0
+
+    def test_next_batch_blocks_until_publish(self):
+        async def scenario():
+            backlog = Backlog()
+            subscription = backlog.subscribe()
+
+            async def publish_later():
+                await asyncio.sleep(0.01)
+                backlog.publish("late")
+
+            task = asyncio.get_running_loop().create_task(publish_later())
+            items = await subscription.next_batch()
+            await task
+            return items
+
+        assert run(scenario()) == ["late"]
+
+    def test_next_batch_empty_signals_closed_stream(self):
+        async def scenario():
+            backlog = Backlog()
+            subscription = backlog.subscribe()
+            backlog.publish("only")
+            backlog.close()
+            first = await subscription.next_batch()
+            second = await subscription.next_batch()
+            return first, second
+
+        assert run(scenario()) == (["only"], [])
+
+    def test_concurrent_publishers_and_subscribers(self):
+        # Two producers race 50 items each past two consumers; every item
+        # is observed exactly once per consumer, in publish order.
+        async def scenario():
+            backlog = Backlog(capacity=256)
+            received = {"a": [], "b": []}
+
+            async def produce(start):
+                for index in range(50):
+                    backlog.publish(start + index)
+                    if index % 7 == 0:
+                        await asyncio.sleep(0)
+
+            async def consume(key):
+                subscription = backlog.subscribe(from_seq=0)
+                while True:
+                    items = await subscription.next_batch()
+                    if not items:
+                        return
+                    received[key].extend(items)
+                    await asyncio.sleep(0)
+
+            loop = asyncio.get_running_loop()
+            consumers = [loop.create_task(consume("a")),
+                         loop.create_task(consume("b"))]
+            await asyncio.gather(produce(0), produce(1000))
+            backlog.close()
+            await asyncio.gather(*consumers)
+            return backlog, received
+
+        backlog, received = run(scenario())
+        assert backlog.dropped == 0
+        assert len(received["a"]) == 100
+        assert received["a"] == received["b"]  # both saw the publish order
+        assert sorted(received["a"]) == sorted(
+            list(range(50)) + list(range(1000, 1050)))
+
+
+# ------------------------------------------------------------- micro-batcher
+class TestMicroBatcher:
+    def test_flushes_at_max_batch_without_waiting(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=4, max_delay_s=60.0)
+            for index in range(4):
+                await batcher.put(index)
+            return await batcher.next_batch()
+
+        assert run(scenario()) == [0, 1, 2, 3]
+
+    def test_flushes_partial_batch_once_budget_expires(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=100, max_delay_s=0.02)
+            loop = asyncio.get_running_loop()
+            await batcher.put("lone")
+            start = loop.time()
+            batch = await batcher.next_batch()
+            return batch, loop.time() - start
+
+        batch, waited = run(scenario())
+        assert batch == ["lone"]
+        assert waited >= 0.015  # held close to the full budget
+
+    def test_budget_counts_from_oldest_item(self):
+        # A steady trickle must not postpone the flush forever: the clock
+        # runs from the OLDEST pending arrival, not the newest.
+        async def scenario():
+            batcher = MicroBatcher(max_batch=100, max_delay_s=0.04)
+            loop = asyncio.get_running_loop()
+
+            async def trickle():
+                for index in range(20):
+                    await batcher.put(index)
+                    await asyncio.sleep(0.005)
+
+            task = loop.create_task(trickle())
+            start = loop.time()
+            batch = await batcher.next_batch()
+            elapsed = loop.time() - start
+            task.cancel()
+            return batch, elapsed
+
+        batch, elapsed = run(scenario())
+        assert 1 <= len(batch) < 20
+        assert elapsed < 0.5
+
+    def test_close_flushes_remainder_then_signals_end(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=10, max_delay_s=60.0)
+            await batcher.put("x")
+            await batcher.put("y")
+            batcher.close()
+            return await batcher.next_batch(), await batcher.next_batch()
+
+        assert run(scenario()) == (["x", "y"], [])
+
+    def test_put_after_close_raises(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            batcher.close()
+            await batcher.put("x")
+
+        with pytest.raises(RuntimeError, match="closed"):
+            run(scenario())
+
+    def test_backpressure_blocks_producer_at_max_pending(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=2, max_delay_s=0.0, max_pending=2)
+            await batcher.put(0)
+            await batcher.put(1)
+
+            blocked = asyncio.get_running_loop().create_task(batcher.put(2))
+            await asyncio.sleep(0.01)
+            was_blocked = not blocked.done()
+            batch = await batcher.next_batch()  # frees a slot
+            await blocked
+            return was_blocked, batch, batcher.pending
+
+        was_blocked, batch, pending = run(scenario())
+        assert was_blocked
+        assert batch == [0, 1]
+        assert pending == 1
+
+    def test_oversized_stream_preserves_order_across_batches(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=3, max_delay_s=0.0)
+            for index in range(8):
+                await batcher.put(index)
+            batcher.close()
+            batches = []
+            while True:
+                batch = await batcher.next_batch()
+                if not batch:
+                    return batches
+
+                batches.append(batch)
+
+        batches = run(scenario())
+        assert batches == [[0, 1, 2], [3, 4, 5], [6, 7]]
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError, match="max_delay_s"):
+            MicroBatcher(max_delay_s=-1.0)
+        with pytest.raises(ValueError, match="max_pending"):
+            MicroBatcher(max_batch=8, max_pending=4)
+
+    def test_stats_counters_track_flow(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=2, max_delay_s=0.0)
+            for index in range(5):
+                await batcher.put(index)
+            batcher.close()
+            while await batcher.next_batch():
+                pass
+            return batcher
+
+        batcher = run(scenario())
+        assert batcher.submitted == 5
+        assert batcher.flushed == 5
+        assert batcher.batches == 3

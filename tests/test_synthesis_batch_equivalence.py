@@ -406,14 +406,32 @@ class TestDeploymentTraffic:
             assert scalar_event.bearings_deg == batch_event.bearings_deg
 
     def test_latency_semantics_are_pinned(self):
-        # run(): per-packet wall clock; run_batch(): the batch mean, shared
-        # by every event of the batch.  Both are positive, so
-        # 1 / mean(latency) is a comparable packets-per-second figure.
+        # v1 events resolve the old latency_s ambiguity into explicit
+        # fields: run() measures each packet's own analysis time
+        # (packet_latency_s), run_batch() attributes the batch mean
+        # (batch_latency_s); exactly one of the two is set per path.  Both
+        # are positive, so 1 / mean(decision_latency_s) is a comparable
+        # packets-per-second figure either way.
         spec = ScenarioSpec(name="latency", seed=5)
         dep = Deployment(spec)
         streaming = list(dep.run(dep.client_packets(1, num_packets=4)))
-        assert all(event.latency_s > 0 for event in streaming)
-        assert len({event.latency_s for event in streaming}) > 1
+        assert all(event.packet_latency_s > 0 for event in streaming)
+        assert all(event.batch_latency_s is None for event in streaming)
+        assert len({event.packet_latency_s for event in streaming}) > 1
         batched = dep.run_batch(dep.traffic(1, num_packets=4, start_s=10.0))
-        assert all(event.latency_s > 0 for event in batched)
-        assert len({event.latency_s for event in batched}) == 1
+        assert all(event.packet_latency_s is None for event in batched)
+        assert all(event.batch_latency_s > 0 for event in batched)
+        assert len({event.batch_latency_s for event in batched}) == 1
+        assert all(event.decision_latency_s > 0
+                   for event in streaming + batched)
+
+    def test_latency_s_shim_is_deprecated_but_faithful(self):
+        # The v0 spelling still answers (runners and notebooks read it) but
+        # warns, and returns exactly the attributed value of either path.
+        spec = ScenarioSpec(name="latency-shim", seed=5)
+        dep = Deployment(spec)
+        streaming = list(dep.run(dep.client_packets(1, num_packets=2)))
+        batched = dep.run_batch(dep.traffic(1, num_packets=2, start_s=10.0))
+        for event in streaming + batched:
+            with pytest.warns(DeprecationWarning):
+                assert event.latency_s == event.decision_latency_s
