@@ -33,9 +33,13 @@ from repro.api.events import EVENT_SCHEMA_VERSION, Packet, PacketEvent
 from repro.api.registry import Registry
 from repro.api.scenarios import (
     SCENARIOS,
+    cfo_drift_scenario,
     fence_scenario,
+    reflector_scenario,
+    replay_scenario,
     single_ap_scenario,
     spoofing_scenario,
+    swarm_scenario,
     three_ap_scenario,
 )
 from repro.api.spec import (
@@ -69,4 +73,8 @@ __all__ = [
     "three_ap_scenario",
     "fence_scenario",
     "spoofing_scenario",
+    "replay_scenario",
+    "reflector_scenario",
+    "swarm_scenario",
+    "cfo_drift_scenario",
 ]

@@ -36,6 +36,12 @@ from repro.attacks.attacker import (
     DirectionalAntennaAttacker,
     OmnidirectionalAttacker,
 )
+from repro.attacks.families import (
+    CfoDriftAttacker,
+    CoordinatedSwarmAttacker,
+    ReflectorAttacker,
+    ReplayAttacker,
+)
 from repro.testbed.environment import TestbedEnvironment, figure4_environment
 
 __all__ = [
@@ -206,6 +212,12 @@ ATTACK_TYPES.register("omnidirectional", OmnidirectionalAttacker, aliases=("omni
 ATTACK_TYPES.register("directional", DirectionalAntennaAttacker,
                       aliases=("directional_antenna",))
 ATTACK_TYPES.register("array", AntennaArrayAttacker, aliases=("antenna_array",))
+ATTACK_TYPES.register("replay", ReplayAttacker)
+ATTACK_TYPES.register("reflector", ReflectorAttacker,
+                      aliases=("multipath_mirror",))
+ATTACK_TYPES.register("swarm", CoordinatedSwarmAttacker,
+                      aliases=("coordinated_swarm",))
+ATTACK_TYPES.register("cfo_drift", CfoDriftAttacker, aliases=("cfo",))
 
 
 # ---------------------------------------------------------------- environments

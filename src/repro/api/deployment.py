@@ -278,9 +278,9 @@ class Deployment:
             timestamp = start_s + index * inter_packet_gap_s
             captures = {
                 name: simulator.capture_from_position(
-                    attacker.position, frame=frame, elapsed_s=timestamp,
-                    timestamp_s=timestamp, attacker=attacker,
-                    tx_power_dbm=attacker.tx_power_dbm)
+                    attacker.transmit_position(index), frame=frame,
+                    elapsed_s=timestamp, timestamp_s=timestamp,
+                    attacker=attacker, tx_power_dbm=attacker.tx_power_dbm)
                 for name, simulator in self.simulators.items()
             }
             yield Packet(frame=frame, captures=captures, timestamp_s=timestamp,
@@ -343,11 +343,12 @@ class Deployment:
                                     num_frames=num_packets)
             frames = list(attack.iter_frames())
             requests = [
-                CaptureRequest(position=attacker_obj.position, frame=frame,
+                CaptureRequest(position=attacker_obj.transmit_position(index),
+                               frame=frame,
                                tx_power_dbm=attacker_obj.tx_power_dbm,
                                elapsed_s=timestamp, timestamp_s=timestamp,
                                attacker=attacker_obj)
-                for frame, timestamp in zip(frames, timestamps)
+                for index, (frame, timestamp) in enumerate(zip(frames, timestamps))
             ]
             packet_metadata = {"attacker": attacker_obj.name}
         captures_by_ap = {

@@ -29,6 +29,10 @@ __all__ = [
     "three_ap_scenario",
     "fence_scenario",
     "spoofing_scenario",
+    "replay_scenario",
+    "reflector_scenario",
+    "swarm_scenario",
+    "cfo_drift_scenario",
 ]
 
 #: The three-AP layout of the fence/mobility/localisation experiments:
@@ -119,6 +123,75 @@ def spoofing_scenario(estimator: Optional[EstimatorConfig] = None,
     )
 
 
+def _attack_family_scenario(name: str,
+                            attackers: tuple,
+                            estimator: Optional[EstimatorConfig],
+                            seed: int) -> ScenarioSpec:
+    """Shared single-AP wiring of the extended attack-family evaluations.
+
+    Identical stream layout to :func:`spoofing_scenario` (one octagonal AP on
+    stream 1, attacker addresses from stream 4), so the attack-matrix
+    experiment and its campaign shards share capture-skip arithmetic with the
+    spoofing evaluation.
+    """
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        estimator=estimator if estimator is not None else EstimatorConfig(),
+        access_points=(AccessPointSpec(
+            name="ap-main", array=ArraySpec(geometry="octagon"), rng_stream=1),),
+        attackers=attackers,
+    )
+
+
+def replay_scenario(estimator: Optional[EstimatorConfig] = None,
+                    seed: int = 42) -> ScenarioSpec:
+    """Replay attack: the victim's recorded waveform retransmitted from an
+    indoor client position and from the street."""
+    return _attack_family_scenario("replay", (
+        AttackerSpec(type="replay", at_client=9, name="replay-indoor",
+                     recording_snr_db=25.0),
+        AttackerSpec(type="replay", outdoor="street-east", name="replay-outdoor",
+                     recording_snr_db=15.0, playback_gain_db=6.0),
+    ), estimator, seed)
+
+
+def reflector_scenario(estimator: Optional[EstimatorConfig] = None,
+                       seed: int = 42) -> ScenarioSpec:
+    """Multipath-mirror spoofing: one reflector tuned at the victim's bearing
+    (client 5 sits at 135 degrees from the AP), one auto-picking the strongest
+    bounce from outside."""
+    return _attack_family_scenario("reflector", (
+        AttackerSpec(type="reflector", at_client=9, name="mirror-tuned",
+                     mirror_bearing_deg=135.0, mirror_gain_db=15.0),
+        AttackerSpec(type="reflector", outdoor="street-north",
+                     name="mirror-auto"),
+    ), estimator, seed)
+
+
+def swarm_scenario(estimator: Optional[EstimatorConfig] = None,
+                   seed: int = 42) -> ScenarioSpec:
+    """Coordinated swarm: three indoor transmitters sharing one spoofed
+    stream, and a two-member swarm in the parking lot."""
+    return _attack_family_scenario("swarm", (
+        AttackerSpec(type="swarm", at_client=9, name="swarm-trio",
+                     member_offsets=((0.0, 0.0), (2.0, 0.5), (-1.5, 1.0))),
+        AttackerSpec(type="swarm", outdoor="parking-lot", name="swarm-outdoor",
+                     member_offsets=((0.0, 0.0), (3.0, 0.0))),
+    ), estimator, seed)
+
+
+def cfo_drift_scenario(estimator: Optional[EstimatorConfig] = None,
+                       seed: int = 42) -> ScenarioSpec:
+    """CFO drift: a slow indoor carrier walk and a fast outdoor one."""
+    return _attack_family_scenario("cfo_drift", (
+        AttackerSpec(type="cfo_drift", at_client=9, name="cfo-slow",
+                     cfo_start_hz=200.0, cfo_drift_hz_per_s=40.0),
+        AttackerSpec(type="cfo_drift", outdoor="street-east", name="cfo-fast",
+                     cfo_start_hz=1000.0, cfo_drift_hz_per_s=400.0),
+    ), estimator, seed)
+
+
 SCENARIOS: Registry[object] = Registry("scenario")
 
 SCENARIOS.register("figure5", lambda: single_ap_scenario(name="figure5"))
@@ -129,3 +202,7 @@ SCENARIOS.register("figure7", lambda: single_ap_scenario(
 SCENARIOS.register("three_ap", three_ap_scenario, aliases=("mobility",))
 SCENARIOS.register("fence", fence_scenario)
 SCENARIOS.register("spoofing", spoofing_scenario)
+SCENARIOS.register("replay", replay_scenario)
+SCENARIOS.register("reflector", reflector_scenario, aliases=("multipath_mirror",))
+SCENARIOS.register("swarm", swarm_scenario, aliases=("coordinated_swarm",))
+SCENARIOS.register("cfo_drift", cfo_drift_scenario, aliases=("cfo",))

@@ -15,6 +15,7 @@ Compiling a spec into live objects is the job of
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
@@ -43,11 +44,13 @@ __all__ = [
 
 
 def _coerce_xy(spec: object, field_name: str) -> None:
-    """Normalise an optional (x, y) field to a float tuple (frozen-safe).
+    """Normalise an optional (x, y) field to a finite float tuple (frozen-safe).
 
     Specs are naturally built with lists (JSON, hand-written configs); the
     canonical tuple form keeps the documented round-trip equality and the
-    dataclasses hashable.
+    dataclasses hashable.  Non-finite coordinates are rejected here — found
+    by the scenario fuzzer: a NaN position used to sail through construction
+    and only surface as NaN captures deep inside synthesis.
     """
     value = getattr(spec, field_name)
     if value is None:
@@ -55,9 +58,19 @@ def _coerce_xy(spec: object, field_name: str) -> None:
     coerced = tuple(float(coordinate) for coordinate in value)
     if len(coerced) != 2:
         raise ValueError(f"{field_name} must be an (x, y) pair, got {value!r}")
+    if not all(math.isfinite(coordinate) for coordinate in coerced):
+        raise ValueError(f"{field_name} must be finite, got {value!r}")
     # Shared canonicalisation helper invoked only from the frozen specs' own
     # __post_init__ methods — construction-time, never post-hoc mutation.
     object.__setattr__(spec, field_name, coerced)  # repro-lint: disable=frozen-config-mutation
+
+
+def _require_positive_finite(value: Optional[float], name: str) -> None:
+    """Reject non-positive or non-finite optional numeric spec knobs."""
+    if value is None:
+        return
+    if not (math.isfinite(value) and value > 0):
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -80,10 +93,31 @@ class ArraySpec(JsonSerializable):
 
     def __post_init__(self) -> None:
         ARRAY_GEOMETRIES.canonical(self.geometry)  # raises with did-you-mean
+        # Found by the scenario fuzzer: zero/negative element counts and
+        # non-positive geometry knobs used to pass spec construction and only
+        # fail (or, worse, degenerate) inside the array factories at build.
+        if self.num_elements is not None and self.num_elements < 2:
+            raise ValueError(
+                f"num_elements must be at least 2, got {self.num_elements!r}")
+        _require_positive_finite(self.spacing_m, "spacing_m")
+        _require_positive_finite(self.radius_m, "radius_m")
+        _require_positive_finite(self.side_length_m, "side_length_m")
+        _require_positive_finite(self.carrier_frequency_hz, "carrier_frequency_hz")
         if self.element_positions is not None:
-            object.__setattr__(self, "element_positions", tuple(
+            coerced = tuple(
                 tuple(float(coordinate) for coordinate in position)
-                for position in self.element_positions))
+                for position in self.element_positions)
+            for position in coerced:
+                if len(position) != 2 or not all(
+                        math.isfinite(coordinate) for coordinate in position):
+                    raise ValueError(
+                        "element_positions must be finite (x, y) pairs, "
+                        f"got {position!r}")
+            if len(coerced) < 2:
+                raise ValueError(
+                    "element_positions needs at least 2 elements, "
+                    f"got {len(coerced)}")
+            object.__setattr__(self, "element_positions", coerced)
 
     def build(self) -> AntennaArray:
         """Instantiate the antenna array this spec describes."""
@@ -145,6 +179,11 @@ class AttackerSpec(JsonSerializable):
     environment) locates the transmitter.  Directional attackers aim either at
     an access point (``aim_ap``) or at explicit coordinates (``aim_point``).
     An unset ``address`` is drawn from the deployment's attacker stream.
+
+    The per-family knob fields (beam shape, recording SNR, mirror bearing,
+    swarm offsets, CFO walk) may only be set when the chosen attack type
+    declares them in its ``spec_knobs`` — a knob the type would silently
+    ignore is rejected at construction.
     """
 
     type: str = "omnidirectional"
@@ -156,9 +195,32 @@ class AttackerSpec(JsonSerializable):
     aim_point: Optional[Tuple[float, float]] = None
     address: Optional[str] = None
     tx_power_dbm: float = 15.0
+    # Directional / array beam knobs.
     beamwidth_deg: Optional[float] = None
     boresight_gain_db: Optional[float] = None
     sidelobe_suppression_db: Optional[float] = None
+    # Replay knobs.
+    recording_snr_db: Optional[float] = None
+    playback_gain_db: Optional[float] = None
+    # Reflector / multipath-mirror knobs.
+    mirror_bearing_deg: Optional[float] = None
+    mirror_gain_db: Optional[float] = None
+    leak_suppression_db: Optional[float] = None
+    # Coordinated-swarm knobs.
+    member_offsets: Optional[Tuple[Tuple[float, float], ...]] = None
+    # CFO-drift knobs.
+    cfo_start_hz: Optional[float] = None
+    cfo_drift_hz_per_s: Optional[float] = None
+
+    #: Every per-family knob field above, in declaration order.  Validated
+    #: against the attack class's ``spec_knobs`` and forwarded in ``build``.
+    _KNOB_FIELDS = (
+        "beamwidth_deg", "boresight_gain_db", "sidelobe_suppression_db",
+        "recording_snr_db", "playback_gain_db",
+        "mirror_bearing_deg", "mirror_gain_db", "leak_suppression_db",
+        "member_offsets",
+        "cfo_start_hz", "cfo_drift_hz_per_s",
+    )
 
     def __post_init__(self) -> None:
         ATTACK_TYPES.canonical(self.type)
@@ -167,16 +229,46 @@ class AttackerSpec(JsonSerializable):
         if sum(placements) != 1:
             raise ValueError(
                 "an attacker needs exactly one of position / at_client / outdoor")
+        if not math.isfinite(self.tx_power_dbm):
+            raise ValueError(
+                f"tx_power_dbm must be finite, got {self.tx_power_dbm!r}")
+        cls = ATTACK_TYPES.get(self.type)
+        directional = issubclass(cls, DirectionalAntennaAttacker)
         if self.aim_ap is not None and self.aim_point is not None:
             raise ValueError("set aim_ap or aim_point, not both")
-        if (issubclass(ATTACK_TYPES.get(self.type), DirectionalAntennaAttacker)
-                and self.aim_ap is None and self.aim_point is None):
+        if directional and self.aim_ap is None and self.aim_point is None:
             # An unaimed directional antenna degenerates to an omni attacker,
             # which would silently mislabel an evaluation.
             raise ValueError(
                 f"attacker type {self.type!r} needs aim_ap or aim_point")
+        if not directional and (self.aim_ap is not None
+                                or self.aim_point is not None):
+            raise ValueError(
+                f"attacker type {self.type!r} is not directional and has no "
+                "beam to aim (aim_ap / aim_point)")
+        allowed = tuple(getattr(cls, "spec_knobs", ()))
+        unknown = [knob for knob in self._KNOB_FIELDS
+                   if getattr(self, knob) is not None and knob not in allowed]
+        if unknown:
+            accepted = ", ".join(allowed) if allowed else "none"
+            raise ValueError(
+                f"attacker type {self.type!r} does not accept knob(s) "
+                f"{unknown}; accepted knobs: {accepted}")
         _coerce_xy(self, "position")
         _coerce_xy(self, "aim_point")
+        if self.member_offsets is not None:
+            coerced = tuple(
+                tuple(float(coordinate) for coordinate in offset)
+                for offset in self.member_offsets)
+            for offset in coerced:
+                if len(offset) != 2 or not all(
+                        math.isfinite(coordinate) for coordinate in offset):
+                    raise ValueError(
+                        f"member_offsets must be finite (dx, dy) pairs, "
+                        f"got {offset!r}")
+            if not coerced:
+                raise ValueError("member_offsets must name at least one member")
+            object.__setattr__(self, "member_offsets", coerced)  # repro-lint: disable=frozen-config-mutation
 
     def build(self, environment: TestbedEnvironment,
               ap_positions: Mapping[str, Point], rng: RngLike = None) -> Attacker:
@@ -206,13 +298,7 @@ class AttackerSpec(JsonSerializable):
                       tx_power_dbm=self.tx_power_dbm)
         if self.name is not None:
             kwargs["name"] = self.name
-        directional = issubclass(cls, DirectionalAntennaAttacker)
-        beam_knobs = {
-            "beamwidth_deg": self.beamwidth_deg,
-            "boresight_gain_db": self.boresight_gain_db,
-            "sidelobe_suppression_db": self.sidelobe_suppression_db,
-        }
-        if directional:
+        if issubclass(cls, DirectionalAntennaAttacker):
             if self.aim_ap is not None:
                 try:
                     kwargs["aim_point"] = ap_positions[self.aim_ap]
@@ -223,12 +309,10 @@ class AttackerSpec(JsonSerializable):
             elif self.aim_point is not None:
                 kwargs["aim_point"] = Point(float(self.aim_point[0]),
                                             float(self.aim_point[1]))
-            kwargs.update({key: value for key, value in beam_knobs.items()
-                           if value is not None})
-        elif (self.aim_ap is not None or self.aim_point is not None
-              or any(value is not None for value in beam_knobs.values())):
-            raise ValueError(
-                f"attacker type {self.type!r} is omnidirectional and has no beam")
+        # __post_init__ already rejected any knob the class does not declare,
+        # so every remaining non-None knob field is one the class accepts.
+        kwargs.update({knob: getattr(self, knob) for knob in self._KNOB_FIELDS
+                       if getattr(self, knob) is not None})
         return cls(**kwargs)
 
     def effective_name(self) -> str:
@@ -252,6 +336,17 @@ class FenceSpec(JsonSerializable):
     margin_m: float = 1.0
     max_residual_m: float = 2.5
     fail_open: bool = False
+
+    def __post_init__(self) -> None:
+        # Found by the scenario fuzzer: a NaN margin or non-positive residual
+        # gate produced a fence that never (or always) rejected, with nothing
+        # failing loudly anywhere.
+        if not math.isfinite(self.margin_m):
+            raise ValueError(f"margin_m must be finite, got {self.margin_m!r}")
+        if not (math.isfinite(self.max_residual_m) and self.max_residual_m > 0):
+            raise ValueError(
+                "max_residual_m must be positive and finite, "
+                f"got {self.max_residual_m!r}")
 
 
 @dataclass(frozen=True)
@@ -318,6 +413,40 @@ class ScenarioSpec(JsonSerializable):
             raise ValueError(
                 f"attacker names must be unique, got {attacker_names}; "
                 "give unnamed attackers of the same type distinct names")
+        # Environment-aware placement checks — found by the scenario fuzzer: a
+        # client id or outdoor name the environment does not define used to
+        # pass construction and only fail on the first Deployment access.
+        # Environment factories are cheap pure builders, so constructing one
+        # here costs microseconds and buys construction-time failure.
+        environment = ENVIRONMENTS.get(self.environment)()
+        known_clients = set(environment.client_positions)
+        unknown_clients = [client for client in self.clients
+                           if client not in known_clients]
+        if unknown_clients:
+            raise ValueError(
+                f"environment {self.environment!r} has no client(s) "
+                f"{unknown_clients}; known: {sorted(known_clients)}")
+        for attacker in self.attackers:
+            if (attacker.at_client is not None
+                    and attacker.at_client not in known_clients):
+                raise ValueError(
+                    f"attacker {attacker.effective_name()!r} is placed at "
+                    f"client {attacker.at_client!r}, which environment "
+                    f"{self.environment!r} does not define; known: "
+                    f"{sorted(known_clients)}")
+            if (attacker.outdoor is not None
+                    and attacker.outdoor not in environment.outdoor_positions):
+                raise ValueError(
+                    f"attacker {attacker.effective_name()!r} is placed at "
+                    f"outdoor position {attacker.outdoor!r}, which environment "
+                    f"{self.environment!r} does not define; known: "
+                    f"{sorted(environment.outdoor_positions)}")
+        ap_names = set(names) if names else {"ap-main"}
+        for attacker in self.attackers:
+            if attacker.aim_ap is not None and attacker.aim_ap not in ap_names:
+                raise ValueError(
+                    f"attacker {attacker.effective_name()!r} aims at unknown "
+                    f"AP {attacker.aim_ap!r}; known: {sorted(ap_names)}")
 
     # ------------------------------------------------------------- convenience
     def resolved_access_points(self) -> Tuple[AccessPointSpec, ...]:

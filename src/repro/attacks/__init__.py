@@ -1,10 +1,17 @@
-"""Attacker models matching the paper's threat model (Section 1)."""
+"""Attacker models matching the paper's threat model (Section 1) plus the
+extended families of the scenario diversity engine."""
 
 from repro.attacks.attacker import (
     AntennaArrayAttacker,
     Attacker,
     DirectionalAntennaAttacker,
     OmnidirectionalAttacker,
+)
+from repro.attacks.families import (
+    CfoDriftAttacker,
+    CoordinatedSwarmAttacker,
+    ReflectorAttacker,
+    ReplayAttacker,
 )
 from repro.attacks.spoofing_attack import SpoofingAttack
 
@@ -13,5 +20,9 @@ __all__ = [
     "OmnidirectionalAttacker",
     "DirectionalAntennaAttacker",
     "AntennaArrayAttacker",
+    "ReplayAttacker",
+    "ReflectorAttacker",
+    "CoordinatedSwarmAttacker",
+    "CfoDriftAttacker",
     "SpoofingAttack",
 ]

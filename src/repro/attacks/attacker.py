@@ -29,22 +29,48 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import ClassVar, List, Optional, Tuple
+
+import numpy as np
 
 from repro.channel.path import PropagationPath
 from repro.geometry.point import Point
 from repro.mac.address import MacAddress
 from repro.utils.angles import angular_difference
+from repro.utils.rng import RngLike
 
 
 @dataclass
 class Attacker:
-    """Base attacker: a transmitter at a position with a MAC address of its own."""
+    """Base attacker: a transmitter at a position with a MAC address of its own.
+
+    Attack behaviour plugs into the capture synthesis through three seams:
+
+    * :meth:`shape_paths` — the antenna pattern: reweight the ray-traced
+      propagation paths (directional beams, tuned reflections);
+    * :meth:`shape_waveform` — the transmit chain: distort the modulated
+      baseband waveform (replayed recordings, carrier-frequency offset);
+      classes that override it must also set :attr:`shapes_waveform` so the
+      simulator spawns the extra per-packet rng substream;
+    * :meth:`transmit_position` — the geometry: attackers made of several
+      transmitters (coordinated swarms) pick a member per packet.
+    """
 
     position: Point
     address: MacAddress
     tx_power_dbm: float = 15.0
     name: str = "attacker"
+
+    #: :class:`~repro.api.spec.AttackerSpec` knob fields this attack type
+    #: accepts.  The spec validates declared knobs against this at
+    #: construction and forwards them to the constructor in ``build``.
+    spec_knobs: ClassVar[Tuple[str, ...]] = ()
+
+    #: True when :meth:`shape_waveform` does anything.  The simulator spawns
+    #: the per-packet waveform-shaping substream (stream 25) only for shaping
+    #: attackers, keeping the legacy four-substream capture layout — and the
+    #: campaign shards' capture-skip arithmetic — intact for everyone else.
+    shapes_waveform: ClassVar[bool] = False
 
     def shape_paths(self, paths: List[PropagationPath]) -> List[PropagationPath]:
         """Apply the attacker's antenna pattern to ray-traced paths.
@@ -53,6 +79,25 @@ class Attacker:
         directions, so the paths are returned unchanged.
         """
         return list(paths)
+
+    def shape_waveform(self, waveform: np.ndarray, sample_rate_hz: float,
+                       elapsed_s: float, rng: RngLike = None) -> np.ndarray:
+        """Apply the attacker's transmit-chain impairments to a waveform.
+
+        Called by the simulator on the modulated baseband waveform before
+        propagation, with the packet's transmit epoch (``elapsed_s``) and a
+        dedicated per-packet generator.  The base attacker transmits the
+        waveform untouched.
+        """
+        return waveform
+
+    def transmit_position(self, packet_index: int) -> Point:
+        """Where packet ``packet_index`` of an attack is transmitted from.
+
+        Single-transmitter attackers always answer :attr:`position`;
+        coordinated swarms rotate through their members on a shared schedule.
+        """
+        return self.position
 
 
 class OmnidirectionalAttacker(Attacker):
@@ -81,6 +126,9 @@ class DirectionalAntennaAttacker(Attacker):
     boresight_gain_db: float = 9.0
     sidelobe_suppression_db: float = 15.0
     name: str = "directional-attacker"
+
+    spec_knobs: ClassVar[Tuple[str, ...]] = (
+        "beamwidth_deg", "boresight_gain_db", "sidelobe_suppression_db")
 
     def __post_init__(self) -> None:
         if self.beamwidth_deg <= 0 or self.beamwidth_deg > 360:

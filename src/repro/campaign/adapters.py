@@ -40,6 +40,16 @@ from repro.experiments.ablations import (
     run_snr_shard,
     snr_sweep_campaign,
 )
+from repro.experiments.attack_matrix import (
+    AttackMatrixResult,
+    AttackMatrixShard,
+    cfo_drift_eval_campaign,
+    merge_attack_matrix,
+    reflector_eval_campaign,
+    replay_eval_campaign,
+    run_attack_matrix_shard,
+    swarm_eval_campaign,
+)
 from repro.experiments.beamforming_eval import (
     BeamformingResult,
     BeamformingShard,
@@ -232,6 +242,42 @@ CAMPAIGNS.register("mobility", CampaignAdapter(
     default_spec=mobility_campaign,
     axis_names=("sample",),
 ))
+CAMPAIGNS.register("replay_eval", CampaignAdapter(
+    name="replay_eval",
+    run_shard=run_attack_matrix_shard,
+    merge=merge_attack_matrix,
+    shard_type=AttackMatrixShard,
+    result_type=AttackMatrixResult,
+    default_spec=replay_eval_campaign,
+    axis_names=("population",),
+), aliases=("replay",))
+CAMPAIGNS.register("reflector_eval", CampaignAdapter(
+    name="reflector_eval",
+    run_shard=run_attack_matrix_shard,
+    merge=merge_attack_matrix,
+    shard_type=AttackMatrixShard,
+    result_type=AttackMatrixResult,
+    default_spec=reflector_eval_campaign,
+    axis_names=("population",),
+), aliases=("reflector", "multipath_mirror_eval"))
+CAMPAIGNS.register("swarm_eval", CampaignAdapter(
+    name="swarm_eval",
+    run_shard=run_attack_matrix_shard,
+    merge=merge_attack_matrix,
+    shard_type=AttackMatrixShard,
+    result_type=AttackMatrixResult,
+    default_spec=swarm_eval_campaign,
+    axis_names=("population",),
+), aliases=("swarm", "coordinated_swarm_eval"))
+CAMPAIGNS.register("cfo_drift_eval", CampaignAdapter(
+    name="cfo_drift_eval",
+    run_shard=run_attack_matrix_shard,
+    merge=merge_attack_matrix,
+    shard_type=AttackMatrixShard,
+    result_type=AttackMatrixResult,
+    default_spec=cfo_drift_eval_campaign,
+    axis_names=("population",),
+), aliases=("cfo_eval",))
 CAMPAIGNS.register("beamforming", CampaignAdapter(
     name="beamforming",
     run_shard=run_beamforming_shard,

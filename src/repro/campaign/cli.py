@@ -49,10 +49,20 @@ PROFILE_TOP_N = 15
 def serial_runners() -> Dict[str, Callable[..., Any]]:
     """The serial experiment runners, by campaign-compatible name."""
     from repro import experiments
+    from repro.experiments.attack_matrix import (
+        run_cfo_drift_eval,
+        run_reflector_eval,
+        run_replay_eval,
+        run_swarm_eval,
+    )
     from repro.experiments.fence_eval import run_fence_evaluation
     from repro.experiments.mobility import run_mobility_tracking
 
     return {
+        "replay_eval": run_replay_eval,
+        "reflector_eval": run_reflector_eval,
+        "swarm_eval": run_swarm_eval,
+        "cfo_drift_eval": run_cfo_drift_eval,
         "figure5": experiments.run_figure5,
         "figure6": experiments.run_figure6,
         "figure7": experiments.run_figure7,

@@ -27,6 +27,11 @@ from repro.experiments.ablations import (
     run_snr_sweep,
     snr_sweep_campaign,
 )
+from repro.experiments.attack_matrix import (
+    AttackMatrixResult,
+    attack_matrix_campaign,
+    run_attack_matrix,
+)
 from repro.experiments.roc import SpoofingRoc, roc_campaign, run_spoofing_roc
 from repro.experiments.mobility import MobilityResult, run_mobility_tracking
 from repro.experiments.beamforming_eval import BeamformingResult, run_beamforming_evaluation
@@ -50,6 +55,9 @@ __all__ = [
     "run_fence_evaluation",
     "SpoofingEvaluation",
     "run_spoofing_evaluation",
+    "AttackMatrixResult",
+    "run_attack_matrix",
+    "attack_matrix_campaign",
     "run_calibration_ablation",
     "run_estimator_comparison",
     "run_snr_sweep",

@@ -182,16 +182,26 @@ class TestbedSimulator:
         packet = self._packet_waveform(frame, rng=spawn_rng(self._rng, 21))
         fading = self.dynamics.fast_fading_jitter(
             len(paths), decorrelation=1.0, rng=spawn_rng(self._rng, 22))
-        signals = self.channel.propagate(packet.waveform, paths,
+        channel_rng = spawn_rng(self._rng, 23)
+        receiver_rng = spawn_rng(self._rng, 24)
+        waveform = packet.waveform
+        if attacker is not None and attacker.shapes_waveform:
+            # Waveform-shaping attackers (replay, CFO drift) get a dedicated
+            # per-packet substream, spawned *after* the legacy four so every
+            # non-shaping capture keeps the exact historical rng layout.
+            waveform = attacker.shape_waveform(
+                waveform, self.config.channel.sample_rate_hz, elapsed_s,
+                rng=spawn_rng(self._rng, 25))
+        signals = self.channel.propagate(waveform, paths,
                                          tx_power_dbm=tx_power_dbm, path_fading=fading,
-                                         rng=spawn_rng(self._rng, 23))
+                                         rng=channel_rng)
         capture_metadata = self._capture_metadata(position, frame, attacker,
                                                   paths, metadata)
         return self.receiver.capture(
             signals,
             timestamp_s=elapsed_s if timestamp_s is None else timestamp_s,
             metadata=capture_metadata,
-            rng=spawn_rng(self._rng, 24),
+            rng=receiver_rng,
         )
 
     def capture_batch(self, requests: Sequence[CaptureRequest]) -> List[Capture]:
@@ -212,6 +222,7 @@ class TestbedSimulator:
         tx_powers: List[float] = []
         fadings: List[np.ndarray] = []
         waveform_rngs: List[np.random.Generator] = []
+        shaping_rngs: List[Optional[np.random.Generator]] = []
         channel_rngs: List[np.random.Generator] = []
         receiver_rngs: List[np.random.Generator] = []
         timestamps: List[float] = []
@@ -222,14 +233,19 @@ class TestbedSimulator:
             paths = self._resolve_paths(request.position, request.elapsed_s,
                                         request.attacker)
             # Substreams are spawned per packet in the scalar loop's order
-            # (21 waveform, 22 fading, 23 channel, 24 receiver); the waveform
-            # generator is consumed later, which changes nothing — a spawned
-            # child is independent of when it is drawn from.
+            # (21 waveform, 22 fading, 23 channel, 24 receiver, plus 25 for
+            # waveform-shaping attackers); the waveform generator is consumed
+            # later, which changes nothing — a spawned child is independent
+            # of when it is drawn from.
             waveform_rngs.append(spawn_rng(self._rng, 21))
             fading = self.dynamics.fast_fading_jitter(
                 len(paths), decorrelation=1.0, rng=spawn_rng(self._rng, 22))
             channel_rngs.append(spawn_rng(self._rng, 23))
             receiver_rngs.append(spawn_rng(self._rng, 24))
+            shaping_rngs.append(
+                spawn_rng(self._rng, 25)
+                if request.attacker is not None and request.attacker.shapes_waveform
+                else None)
             paths_batch.append(paths)
             tx_powers.append(tx_power)
             fadings.append(fading)
@@ -250,6 +266,13 @@ class TestbedSimulator:
                     num_payload_symbols=self.config.payload_symbols,
                     rngs=waveform_rngs, backend=self.config.backend)
             ]
+        sample_rate_hz = self.config.channel.sample_rate_hz
+        for index, (request, shaping_rng) in enumerate(zip(requests, shaping_rngs)):
+            if shaping_rng is not None:
+                assert request.attacker is not None
+                waveforms[index] = request.attacker.shape_waveform(
+                    waveforms[index], sample_rate_hz, request.elapsed_s,
+                    rng=shaping_rng)
 
         # Packets of one batch normally share a waveform length; oversized
         # frames grow their packet, so group by length and batch per group.
@@ -330,7 +353,7 @@ class TestbedSimulator:
         ]
         return self.capture_batch(requests)
 
-    def skip_captures(self, num_captures: int) -> None:
+    def skip_captures(self, num_captures: int, spawns_per_capture: int = 4) -> None:
         """Advance the master generator past ``num_captures`` capture calls.
 
         Every capture spawns exactly four per-packet substreams (waveform,
@@ -340,10 +363,16 @@ class TestbedSimulator:
         state it would hold after simulating the packets for real.  Campaign
         shards use this to jump straight to their slice of a serial
         experiment's capture sequence.
+
+        Captures transmitted by a waveform-shaping attacker
+        (:attr:`Attacker.shapes_waveform`) spawn one extra substream (25);
+        skip those with ``spawns_per_capture=5``.
         """
         if num_captures < 0:
             raise ValueError("num_captures must be non-negative")
-        skip_spawns(self._rng, 4 * int(num_captures))
+        if spawns_per_capture < 1:
+            raise ValueError("spawns_per_capture must be at least 1")
+        skip_spawns(self._rng, spawns_per_capture * int(num_captures))
 
     # -------------------------------------------------------------- path cache
     def path_cache_info(self) -> Dict[str, int]:

@@ -7,12 +7,38 @@ exercising the real construction paths.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.aoa import AoAEstimator, EstimatorConfig
 from repro.arrays import OctagonalArray, UniformLinearArray
 from repro.testbed import TestbedSimulator, figure4_environment
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    hypothesis_settings = None
+
+if hypothesis_settings is not None:
+    # Scenario synthesis is deliberately slow per example (it simulates RF
+    # captures), so every profile disables the per-example deadline and the
+    # too-slow health check; the profiles differ only in example budget.
+    _COMMON = dict(
+        deadline=None,
+        suppress_health_check=(HealthCheck.too_slow,),
+        derandomize=True,
+        print_blob=True,
+    )
+    hypothesis_settings.register_profile("dev", max_examples=25, **_COMMON)
+    # The CI budget keeps the fuzz job's distinct-spec count meaningful
+    # (>= 200 specs across the suite) while staying inside the job timeout.
+    hypothesis_settings.register_profile("ci", max_examples=50, **_COMMON)
+    hypothesis_settings.register_profile("thorough", max_examples=400,
+                                         **_COMMON)
+    hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

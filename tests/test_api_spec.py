@@ -53,11 +53,13 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="exactly one"):
             AttackerSpec(type="omni", at_client=3, outdoor="street-east")
 
-    def test_omni_attacker_rejects_beam_knobs_at_build(self):
-        spec = AttackerSpec(type="omni", at_client=3, beamwidth_deg=10.0)
-        environment = Deployment(ScenarioSpec()).environment
-        with pytest.raises(ValueError, match="no beam"):
-            spec.build(environment, {})
+    def test_omni_attacker_rejects_beam_knobs_at_construction(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            AttackerSpec(type="omni", at_client=3, beamwidth_deg=10.0)
+
+    def test_omni_attacker_rejects_aim_at_construction(self):
+        with pytest.raises(ValueError, match="not directional"):
+            AttackerSpec(type="omni", at_client=3, aim_ap="ap-main")
 
     def test_array_spec_rejects_wrong_knob_for_geometry(self):
         spec = ArraySpec(geometry="linear", radius_m=0.3)

@@ -64,6 +64,22 @@ TINY = {
                      serial=dict(num_samples=3)),
     "beamforming": dict(campaign=dict(client_ids=(1, 2)),
                         serial=dict(client_ids=(1, 2))),
+    "replay_eval": dict(campaign=dict(num_training_packets=2,
+                                      num_test_packets=3),
+                        serial=dict(num_training_packets=2,
+                                    num_test_packets=3)),
+    "reflector_eval": dict(campaign=dict(num_training_packets=2,
+                                         num_test_packets=3),
+                           serial=dict(num_training_packets=2,
+                                       num_test_packets=3)),
+    "swarm_eval": dict(campaign=dict(num_training_packets=2,
+                                     num_test_packets=3),
+                       serial=dict(num_training_packets=2,
+                                   num_test_packets=3)),
+    "cfo_drift_eval": dict(campaign=dict(num_training_packets=2,
+                                         num_test_packets=3),
+                           serial=dict(num_training_packets=2,
+                                       num_test_packets=3)),
 }
 
 ADAPTER_NAMES = CAMPAIGNS.names()
